@@ -1,0 +1,66 @@
+"""Ablation: period-based flexibility test vs. brute-force walk enumeration.
+
+The classifier's polynomial-time part (Algorithm 2) hinges on deciding label
+flexibility (Definition 4.8).  The library decides flexibility through the SCC
+period (gcd of cycle lengths) and computes the flexibility *value* by a dynamic
+program capped at the Wielandt bound.  This ablation cross-checks the decision
+against a brute-force enumeration of returning-walk lengths and compares the
+costs of the two approaches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata import automaton_of
+from repro.problems import catalog
+from repro.problems.random_problems import random_problem
+
+PROBLEMS = [problem for problem, _expected in catalog().values() if problem.delta == 2]
+RANDOM_PROBLEMS = [random_problem(3, density=0.4, seed=seed) for seed in range(10)]
+
+
+def _brute_force_flexible(automaton, state, horizon: int) -> bool:
+    """A state is flexible iff a full window of consecutive returning lengths exists."""
+    lengths = automaton.returning_walk_lengths(state, 2 * horizon)
+    return any(
+        all(length + offset in lengths for offset in range(horizon))
+        for length in range(1, horizon + 1)
+    )
+
+
+def test_flexibility_decision_matches_brute_force(benchmark):
+    def check_all():
+        mismatches = []
+        for problem in PROBLEMS + RANDOM_PROBLEMS:
+            automaton = automaton_of(problem)
+            horizon = automaton.walk_length_bound()
+            for state in automaton.states:
+                fast = automaton.is_flexible(state)
+                slow = _brute_force_flexible(automaton, state, horizon)
+                if fast != slow:
+                    mismatches.append((problem.name, state, fast, slow))
+        return mismatches
+
+    mismatches = benchmark(check_all)
+    assert mismatches == []
+
+
+def test_flexibility_values_are_tight(benchmark):
+    """The computed flexibility value K is minimal: K-1 has no returning walk."""
+
+    def check_all():
+        violations = []
+        for problem in PROBLEMS:
+            automaton = automaton_of(problem)
+            for state in automaton.states:
+                value = automaton.flexibility(state)
+                if value is None or value <= 1:
+                    continue
+                lengths = automaton.returning_walk_lengths(state, automaton.walk_length_bound())
+                if value - 1 in lengths:
+                    violations.append((problem.name, state, value))
+        return violations
+
+    violations = benchmark(check_all)
+    assert violations == []

@@ -1,0 +1,54 @@
+"""Figure 10 / Section 8: the problem family Π_k with complexity Θ(n^{1/k}).
+
+Two claims are reproduced:
+
+* *Classification* (Lemma 8.2): Algorithm 2 prunes ``Π_k`` in exactly ``k``
+  iterations and reports the ``Ω(n^{1/k})`` lower bound.
+* *Upper bound* (Lemma 8.1): the partition-based solver labels instances in
+  ``O(n^{1/k})`` rounds; doubling the instance size increases the round count by
+  roughly ``2^{1/k}``, far below the linear growth of a global algorithm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ComplexityClass, classify
+from repro.distributed import PolynomialSolver
+from repro.labeling import verify_labeling
+from repro.problems import pi_k
+from repro.trees import complete_tree
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_classification_reports_exponent(benchmark, k):
+    problem = pi_k(k)
+    result = benchmark(lambda: classify(problem))
+    assert result.complexity == ComplexityClass.POLYNOMIAL
+    assert result.polynomial_exponent_bound == k
+
+    print(f"\nFigure 10: Pi_{k} classified as n^Theta(1) with lower bound Omega(n^(1/{k}))")
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_round_scaling_follows_n_to_one_over_k(benchmark, k):
+    problem = pi_k(k)
+    solver = PolynomialSolver(k, problem)
+    trees = [complete_tree(2, depth) for depth in (8, 11, 14)]
+
+    def run_series():
+        return [(tree.num_nodes, solver.solve(tree).rounds) for tree in trees]
+
+    series = benchmark(run_series)
+    for tree, (_n, rounds) in zip(trees, series):
+        result = solver.solve(tree)
+        assert verify_labeling(problem, tree, result.labeling).valid
+
+    print(f"\nFigure 10 series (k={k}): rounds vs n")
+    for n, rounds in series:
+        print(f"  n={n:7d}  rounds={rounds:6d}  n^(1/k)={n ** (1.0 / k):8.1f}")
+
+    # Shape check: rounds grow no faster than ~3x the n^{1/k} prediction.
+    (n0, r0), (n1, r1) = series[0], series[-1]
+    predicted = (n1 / n0) ** (1.0 / k)
+    assert r1 / max(1, r0) <= 3.0 * predicted

@@ -1,0 +1,47 @@
+"""Figure 1 (Section 1.3): maximal independent set in O(1) rounds.
+
+The paper's flagship example: MIS on rooted binary trees is solvable in exactly
+4 communication rounds using the port-string construction of Figure 1.  The
+benchmark runs the genuine message-passing algorithm on instances of increasing
+size and checks that (a) the labeling is always a valid MIS encoding and (b) the
+round count does not grow with ``n``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import MISSolver
+from repro.labeling import verify_labeling
+from repro.problems import maximal_independent_set
+from repro.trees import complete_tree, random_full_tree
+
+PROBLEM = maximal_independent_set()
+DEPTHS = [6, 9, 12]
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_mis_constant_rounds_complete_trees(benchmark, depth):
+    tree = complete_tree(2, depth)
+    solver = MISSolver(PROBLEM)
+    result = benchmark(lambda: solver.solve(tree))
+    assert result.rounds == 4
+    assert verify_labeling(PROBLEM, tree, result.labeling).valid
+
+
+def test_mis_rounds_do_not_grow_with_n(benchmark):
+    solver = MISSolver(PROBLEM)
+    trees = [complete_tree(2, depth) for depth in DEPTHS] + [
+        random_full_tree(2, 2000, seed=3)
+    ]
+
+    def run_series():
+        return [(tree.num_nodes, solver.solve(tree).rounds) for tree in trees]
+
+    series = benchmark(run_series)
+    rounds = {r for _n, r in series}
+    assert rounds == {4}
+
+    print("\nFigure 1 series: MIS rounds vs n (constant)")
+    for n, r in series:
+        print(f"  n={n:7d}  rounds={r}")

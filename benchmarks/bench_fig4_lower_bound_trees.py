@@ -1,0 +1,40 @@
+"""Figures 4–6 (Section 5.4): the lower-bound constructions T^x_k and T^x_{i←j}.
+
+The ``Ω(n^{1/k})`` lower bound rests on the bipolar trees ``T^x_k`` whose size is
+``Θ(x^k)`` while the two endpoints of a layer-``k`` path are ``x`` hops apart.
+The benchmark constructs the trees, checks the closed-form size, the layer
+structure and the middle-edge concatenation of ``T^x_{i←j}`` (Figure 5), and
+reports the size/diameter scaling series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trees import (
+    concatenated_lower_bound_tree,
+    lower_bound_tree,
+    lower_bound_tree_size,
+)
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_lower_bound_tree_size_scaling(benchmark, k):
+    x = 8
+    bipolar = benchmark(lambda: lower_bound_tree(x, k))
+    assert bipolar.num_nodes == lower_bound_tree_size(x, k)
+    assert len(bipolar.core_path()) == x
+    # n = Θ(x^k): distinguishing the endpoints of the core path needs Ω(n^{1/k}) rounds.
+    assert bipolar.num_nodes >= x ** k
+
+    print(f"\nFigure 4 series (k={k}): ", end="")
+    print([(xx, lower_bound_tree_size(xx, k)) for xx in (2, 4, 8, 16)])
+
+
+def test_concatenated_tree_structure(benchmark):
+    bipolar = benchmark(lambda: concatenated_lower_bound_tree(6, 2, 1))
+    first_end, second_start = bipolar.tree.metadata["middle_edge"]
+    assert bipolar.tree.parent[second_start] == first_end
+    assert bipolar.layer[first_end] == 2
+    assert bipolar.layer[second_start] == 1
+    assert bipolar.num_nodes == lower_bound_tree_size(6, 2) + lower_bound_tree_size(6, 1)

@@ -1,0 +1,51 @@
+"""Figure 8 (Section 7): a certificate for O(1) solvability of maximal independent set.
+
+Figure 8 shows the constant-time certificate of the MIS problem: a uniform
+certificate over the labels ``{1, a, b}`` with ``b`` at one of the leaves,
+combined with the special configuration ``b : b 1`` ("b can be followed by b").
+The benchmark reproduces Algorithm 5 and the certificate construction, validates
+Definition 7.1, and cross-checks the classifier's O(1) verdict with the genuine
+4-round distributed algorithm of Figure 1.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    ComplexityClass,
+    build_constant_certificate,
+    classify,
+    find_constant_certificate_builder,
+)
+from repro.core.configuration import Configuration
+from repro.distributed import MISSolver
+from repro.labeling import verify_labeling
+from repro.problems import maximal_independent_set
+from repro.trees import random_full_tree
+
+PROBLEM = maximal_independent_set()
+
+
+def test_constant_certificate_pipeline(benchmark):
+    def pipeline():
+        builder, special = find_constant_certificate_builder(PROBLEM)
+        return build_constant_certificate(builder, special)
+
+    certificate = benchmark(pipeline)
+    assert certificate.validate() == []
+    assert certificate.special_configuration == Configuration("b", ("b", "1"))
+    assert certificate.special_label == "b"
+    assert "b" in certificate.uniform.leaf_labels()
+    assert classify(PROBLEM).complexity == ComplexityClass.CONSTANT
+
+    print("\nFigure 8: certificate for O(1) solvability of MIS")
+    print(f"  labels: {sorted(certificate.labels)}, depth: {certificate.uniform.depth}")
+    print(f"  special configuration: {certificate.special_configuration}")
+    print(f"  leaf layer: {certificate.uniform.leaf_labels()}")
+
+
+def test_constant_class_realized_by_distributed_algorithm(benchmark):
+    tree = random_full_tree(2, 3000, seed=8)
+    solver = MISSolver(PROBLEM)
+    result = benchmark(lambda: solver.solve(tree))
+    assert result.rounds == 4
+    assert verify_labeling(PROBLEM, tree, result.labeling).valid

@@ -1,0 +1,84 @@
+"""Derived figure: rounds-vs-n curves, one representative problem per complexity class.
+
+This benchmark regenerates the qualitative content of the paper's main theorem as
+an empirical table: for a representative problem of each class the measured (or
+analysis-derived) round counts are reported for growing instance sizes.  The
+*shape* of each curve — constant, iterated-logarithmic, logarithmic, polynomial —
+is asserted.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.distributed import ColoringSolver, GlobalSolver, LogSolver, MISSolver, PolynomialSolver
+from repro.labeling import verify_labeling
+from repro.problems import branch_two_coloring, maximal_independent_set, pi_k, three_coloring
+from repro.trees import complete_tree, hairy_path
+
+DEPTHS = (7, 10, 13)
+TREES = [complete_tree(2, depth) for depth in DEPTHS]
+
+
+def _series(solver, problem):
+    rows = []
+    for tree in TREES:
+        result = solver.solve(tree)
+        assert verify_labeling(problem, tree, result.labeling).valid
+        rows.append((tree.num_nodes, result.rounds))
+    return rows
+
+
+def test_constant_class_curve(benchmark):
+    problem = maximal_independent_set()
+    rows = benchmark(lambda: _series(MISSolver(problem), problem))
+    assert len({rounds for _n, rounds in rows}) == 1
+    print("\nO(1) class (MIS):", rows)
+
+
+def test_logstar_class_curve(benchmark):
+    problem = three_coloring()
+    rows = benchmark(lambda: _series(ColoringSolver(problem), problem))
+    assert rows[-1][1] - rows[0][1] <= 3
+    print("\nTheta(log* n) class (3-coloring):", rows)
+
+
+def test_log_class_curve(benchmark):
+    problem = branch_two_coloring()
+    rows = benchmark(lambda: _series(LogSolver(problem), problem))
+    growth = rows[-1][1] / rows[0][1]
+    size_growth = rows[-1][0] / rows[0][0]
+    # Logarithmic: rounds grow far slower than the instance size.
+    assert growth < size_growth / 4
+    assert rows[-1][1] > rows[0][1]
+    print("\nTheta(log n) class (branch 2-coloring):", rows)
+
+
+def test_polynomial_class_curve(benchmark):
+    problem = pi_k(2)
+    rows = benchmark(lambda: _series(PolynomialSolver(2, problem), problem))
+    growth = rows[-1][1] / rows[0][1]
+    predicted = math.sqrt(rows[-1][0] / rows[0][0])
+    assert growth <= 3 * predicted
+    print("\nTheta(n^(1/2)) class (Pi_2):", rows)
+
+
+def test_global_class_curve_on_hairy_paths(benchmark):
+    """Θ(n): on hairy paths the global solver needs rounds proportional to n."""
+    problem = pi_k(1)
+    solver = GlobalSolver(problem)
+    trees = [hairy_path(2, length) for length in (100, 200, 400)]
+
+    def run():
+        rows = []
+        for tree in trees:
+            result = solver.solve(tree)
+            assert verify_labeling(problem, tree, result.labeling).valid
+            rows.append((tree.num_nodes, result.rounds))
+        return rows
+
+    rows = benchmark(run)
+    assert rows[-1][1] >= 3.5 * rows[0][1]
+    print("\nTheta(n) class (2-coloring on hairy paths):", rows)

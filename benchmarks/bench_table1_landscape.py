@@ -1,0 +1,62 @@
+"""Table 1 (shaded column): the complexity landscape of LCLs in rooted regular trees.
+
+The paper's central claim is that the only possible round complexities are
+``O(1)``, ``Θ(log* n)``, ``Θ(log n)`` and ``Θ(n^{1/k})``, that all classes are
+non-empty, and that membership is decidable.  This benchmark classifies one
+representative problem per landscape row and checks the results against the
+paper's golden values, while measuring the classification time for the whole
+catalog (the decidability claim: "fast enough to classify many problems of
+interest").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ComplexityClass, classify
+from repro.problems import catalog
+
+
+def _classify_catalog():
+    results = {}
+    for name, (problem, _expected) in catalog().items():
+        results[name] = classify(problem).complexity
+    return results
+
+
+def test_landscape_rows_match_paper(benchmark):
+    """Every class of Table 1 is realized and classified correctly."""
+    results = benchmark(_classify_catalog)
+
+    expected = {name: expected for name, (_p, expected) in catalog().items()}
+    assert results == expected
+
+    # All four complexity classes (plus unsolvable) are populated.
+    assert set(results.values()) == {
+        ComplexityClass.CONSTANT,
+        ComplexityClass.LOGSTAR,
+        ComplexityClass.LOG,
+        ComplexityClass.POLYNOMIAL,
+        ComplexityClass.UNSOLVABLE,
+    }
+
+    print("\nTable 1 (rooted regular trees, deterministic = randomized, LOCAL = CONGEST)")
+    print(f"{'problem':24s} {'complexity':>16s}")
+    for name, value in sorted(results.items(), key=lambda item: item[1].order):
+        print(f"{name:24s} {value.value:>16s}")
+
+
+@pytest.mark.parametrize(
+    "row, expected",
+    [
+        ("mis", ComplexityClass.CONSTANT),
+        ("3-coloring", ComplexityClass.LOGSTAR),
+        ("branch-2-coloring", ComplexityClass.LOG),
+        ("2-coloring", ComplexityClass.POLYNOMIAL),
+    ],
+)
+def test_landscape_row(benchmark, row, expected):
+    """Per-row benchmark: classifying a single representative problem."""
+    problem, _ = catalog()[row]
+    result = benchmark(lambda: classify(problem))
+    assert result.complexity == expected

@@ -1,0 +1,9 @@
+"""Benchmark configuration: make the package importable without installation."""
+
+import sys
+from pathlib import Path
+
+try:  # pragma: no cover
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))

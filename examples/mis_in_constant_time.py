@@ -1,0 +1,42 @@
+"""Scenario: run the 4-round maximal-independent-set algorithm of Figure 1.
+
+The example builds a large random full binary tree, executes the genuine
+message-passing MIS algorithm in the LOCAL simulator, verifies the output
+against the LCL specification (equation (3) of the paper) and reports the
+independent set that was computed.
+
+Run with::
+
+    python examples/mis_in_constant_time.py
+"""
+
+from repro.distributed import MISSolver
+from repro.distributed.solvers.mis_solver import independent_set_from_labeling
+from repro.labeling import verify_labeling
+from repro.problems import maximal_independent_set
+from repro.trees import complete_tree, random_full_tree
+
+
+def main() -> None:
+    problem = maximal_independent_set()
+    solver = MISSolver(problem)
+
+    for description, tree in [
+        ("complete binary tree of depth 12", complete_tree(2, 12)),
+        ("random full binary tree", random_full_tree(2, 5000, seed=42)),
+    ]:
+        result = solver.solve(tree, seed=1)
+        report = verify_labeling(problem, tree, result.labeling)
+        membership = independent_set_from_labeling(result.labeling)
+        set_size = sum(membership.values())
+        print(f"{description}:")
+        print(f"  n = {tree.num_nodes}, rounds = {result.rounds}, valid = {report.valid}")
+        print(f"  independent set size = {set_size} ({set_size / tree.num_nodes:.1%} of the nodes)")
+        print()
+
+    print("Note: the round count stays at 4 regardless of n -- the problem is in the")
+    print("O(1) class even though it is not zero-round solvable (Section 1.3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Scenario: the Θ(n^{1/k}) family Π_k of Section 8.
+
+The example shows both sides of the paper's polynomial region:
+
+* the classifier prunes ``Π_k`` in exactly ``k`` iterations, certifying the
+  ``Ω(n^{1/k})`` lower bound (Lemma 8.2),
+* the partition-based algorithm of Lemma 8.1 solves ``Π_k`` in ``O(n^{1/k})``
+  rounds; the measured round counts follow the predicted curve,
+* the lower-bound trees ``T^x_k`` of Section 5.4 exhibit the ``n = Θ(x^k)``
+  growth that makes the lower bound work.
+
+Run with::
+
+    python examples/polynomial_family.py
+"""
+
+from repro import classify
+from repro.distributed import PolynomialSolver
+from repro.labeling import verify_labeling
+from repro.problems import pi_k
+from repro.trees import complete_tree, lower_bound_tree_size
+
+
+def main() -> None:
+    print("classification of the family Pi_k (Lemma 8.2):")
+    for k in (1, 2, 3):
+        result = classify(pi_k(k))
+        print(
+            f"  Pi_{k}: {result.complexity.value:12s} "
+            f"(Algorithm 2 pruned in {result.polynomial_exponent_bound} iterations "
+            f"=> Omega(n^(1/{result.polynomial_exponent_bound})))"
+        )
+
+    print("\nupper bound of Lemma 8.1: rounds vs n")
+    print(f"{'k':>3s} {'n':>8s} {'rounds':>8s} {'n^(1/k)':>10s} {'valid':>6s}")
+    for k in (1, 2, 3):
+        problem = pi_k(k)
+        solver = PolynomialSolver(k, problem)
+        for depth in (8, 11, 14):
+            tree = complete_tree(2, depth)
+            result = solver.solve(tree)
+            valid = verify_labeling(problem, tree, result.labeling).valid
+            print(
+                f"{k:3d} {tree.num_nodes:8d} {result.rounds:8d} "
+                f"{tree.num_nodes ** (1.0 / k):10.1f} {str(valid):>6s}"
+            )
+
+    print("\nlower-bound trees T^x_k (Section 5.4): n = Theta(x^k)")
+    print(f"{'x':>5s}" + "".join(f"  k={k:<10d}" for k in (1, 2, 3)))
+    for x in (2, 4, 8, 16, 32):
+        sizes = [lower_bound_tree_size(x, k) for k in (1, 2, 3)]
+        print(f"{x:5d}" + "".join(f"  {size:<12d}" for size in sizes))
+
+
+if __name__ == "__main__":
+    main()

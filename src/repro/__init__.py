@@ -1,0 +1,49 @@
+"""repro — a reproduction of "Locally Checkable Problems in Rooted Trees" (PODC 2021).
+
+The package provides:
+
+* the LCL problem formalism on rooted regular trees (``repro.core``),
+* the complexity classifier deciding between ``O(1)``, ``Θ(log* n)``,
+  ``Θ(log n)`` and ``n^{Θ(1)}`` (``repro.core.classifier``),
+* certificates for each complexity class and their constructive materialization,
+* the rooted-tree and automata substrates,
+* a LOCAL/CONGEST simulator with certificate-driven distributed solvers,
+* a catalog of the paper's sample problems and an experiment harness.
+
+Quick start::
+
+    from repro import classify, problems
+
+    result = classify(problems.maximal_independent_set())
+    print(result.complexity)        # ComplexityClass.CONSTANT
+"""
+
+from . import automata, core, labeling, problems, trees
+from .core import (
+    ClassificationResult,
+    ComplexityClass,
+    Configuration,
+    LCLProblem,
+    classify,
+    classify_with_certificates,
+    complexity_of,
+    parse_problem,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClassificationResult",
+    "ComplexityClass",
+    "Configuration",
+    "LCLProblem",
+    "automata",
+    "classify",
+    "classify_with_certificates",
+    "complexity_of",
+    "core",
+    "labeling",
+    "parse_problem",
+    "problems",
+    "trees",
+]

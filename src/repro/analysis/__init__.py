@@ -1,0 +1,17 @@
+"""Experiment harness shared by the benchmarks and the examples."""
+
+from .experiments import (
+    ScalingRow,
+    classification_timing,
+    format_table,
+    landscape_census,
+    scaling_experiment,
+)
+
+__all__ = [
+    "ScalingRow",
+    "classification_timing",
+    "format_table",
+    "landscape_census",
+    "scaling_experiment",
+]

@@ -1,0 +1,52 @@
+"""Path-flexibility of labels of an LCL problem (Definitions 4.8 and 4.9).
+
+A label is *path-flexible* when it is a flexible state of the automaton ``M(Π)``
+associated with the path-form of the problem: returning walks of every
+sufficiently large length exist.  Path-inflexible labels are the ones removed by
+Algorithm 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, FrozenSet, Optional
+
+from .semiautomaton import Label, PathAutomaton
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
+    from ..core.problem import LCLProblem
+
+
+def automaton_of(problem: "LCLProblem") -> PathAutomaton:
+    """The automaton ``M(Π)`` of ``problem`` (Definition 4.7)."""
+    return PathAutomaton.from_problem(problem)
+
+
+def path_flexible_labels(problem: "LCLProblem") -> FrozenSet[Label]:
+    """The set of path-flexible labels of ``problem`` (Definition 4.9)."""
+    automaton = automaton_of(problem)
+    return automaton.flexible_states()
+
+
+def path_inflexible_labels(problem: "LCLProblem") -> FrozenSet[Label]:
+    """The set of path-inflexible labels of ``problem``."""
+    return frozenset(problem.labels) - path_flexible_labels(problem)
+
+
+def label_flexibilities(problem: "LCLProblem") -> Dict[Label, Optional[int]]:
+    """Flexibility value per label (``None`` for path-inflexible labels)."""
+    automaton = automaton_of(problem)
+    return {label: automaton.flexibility(label) for label in sorted(problem.labels)}
+
+
+def is_path_flexible_problem(problem: "LCLProblem") -> bool:
+    """Whether the problem itself is path-flexible (Definition 4.9, second part).
+
+    A problem is path-flexible when every label is path-flexible and the
+    automaton ``M(Π)`` consists of a single strongly connected component.
+    """
+    if problem.is_empty():
+        return False
+    automaton = automaton_of(problem)
+    if not automaton.is_strongly_connected():
+        return False
+    return automaton.flexible_states() == automaton.states

@@ -1,0 +1,96 @@
+"""Command-line interface: classify LCL problems from the terminal.
+
+Usage::
+
+    python -m repro classify path/to/problem.txt      # classify a problem file
+    python -m repro classify --catalog                # classify the paper's samples
+    echo "1 : 2 2 ; 2 : 1 1" | python -m repro classify -
+
+A problem file contains one configuration per line in the paper's notation
+(``parent : child child ...``); blank lines and ``#`` comments are ignored.
+The output reports the complexity class, the certificate label sets and, for
+``n^{Θ(1)}`` problems, the ``Ω(n^{1/k})`` lower-bound exponent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.classifier import classify_with_certificates
+from .core.parser import parse_problem
+from .core.problem import LCLProblem
+from .problems.catalog import catalog
+
+
+def _read_problem(source: str) -> LCLProblem:
+    """Read a problem description from a file path or ``-`` for standard input."""
+    if source == "-":
+        text = sys.stdin.read()
+        name = "<stdin>"
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        name = source
+    return parse_problem(text, name=name)
+
+
+def _report(problem: LCLProblem) -> str:
+    artifacts = classify_with_certificates(problem)
+    result = artifacts.result
+    lines = [
+        f"problem:    {problem.summary()}",
+        f"complexity: {result.complexity.value}",
+        f"details:    {result.describe()}",
+        f"time:       {artifacts.elapsed_seconds * 1000:.2f} ms",
+    ]
+    return "\n".join(lines)
+
+
+def _run_classify(args: argparse.Namespace) -> int:
+    if args.catalog:
+        for name, (problem, expected) in catalog().items():
+            artifacts = classify_with_certificates(problem)
+            marker = "ok" if artifacts.result.complexity == expected else "UNEXPECTED"
+            print(
+                f"[{marker}] {name:22s} {artifacts.result.complexity.value:16s} "
+                f"({artifacts.elapsed_seconds * 1000:.1f} ms)"
+            )
+        return 0
+    if not args.problem:
+        print("error: provide a problem file, '-' for stdin, or --catalog", file=sys.stderr)
+        return 2
+    print(_report(_read_problem(args.problem)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Classifier for locally checkable problems in rooted regular trees (PODC 2021).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    classify_parser = subparsers.add_parser(
+        "classify", help="classify a problem given as a configuration list"
+    )
+    classify_parser.add_argument(
+        "problem", nargs="?", help="path to a problem file, or '-' to read standard input"
+    )
+    classify_parser.add_argument(
+        "--catalog", action="store_true", help="classify the paper's sample problems instead"
+    )
+    classify_parser.set_defaults(handler=_run_classify)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point used by ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

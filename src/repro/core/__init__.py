@@ -1,0 +1,72 @@
+"""Core formalism: LCL problems, certificates, and the complexity classifier."""
+
+from .configuration import Configuration, Label, configuration, configurations_from_pairs
+from .problem import LCLError, LCLProblem
+from .parser import format_problem, parse_configuration, parse_problem, parse_problem_lines
+from .complexity import ClassificationResult, ComplexityClass
+from .log_certificate import (
+    LogCertificate,
+    LogCertificateAbsence,
+    find_log_certificate,
+    has_log_certificate,
+    remove_path_inflexible_configurations,
+)
+from .logstar_certificate import (
+    CertificateBuilder,
+    find_certificate_builder,
+    find_unrestricted_certificate,
+    has_logstar_certificate,
+)
+from .constant_certificate import find_constant_certificate_builder, has_constant_certificate
+from .certificates import (
+    CertificateError,
+    CertificateTree,
+    ConstantCertificate,
+    CoprimeCertificate,
+    UniformCertificate,
+    build_constant_certificate,
+    build_uniform_certificate,
+)
+from .classifier import (
+    ClassificationArtifacts,
+    classify,
+    classify_with_certificates,
+    complexity_of,
+)
+
+__all__ = [
+    "CertificateBuilder",
+    "CertificateError",
+    "CertificateTree",
+    "ClassificationArtifacts",
+    "ClassificationResult",
+    "ComplexityClass",
+    "Configuration",
+    "ConstantCertificate",
+    "CoprimeCertificate",
+    "LCLError",
+    "LCLProblem",
+    "Label",
+    "LogCertificate",
+    "LogCertificateAbsence",
+    "UniformCertificate",
+    "build_constant_certificate",
+    "build_uniform_certificate",
+    "classify",
+    "classify_with_certificates",
+    "complexity_of",
+    "configuration",
+    "configurations_from_pairs",
+    "find_certificate_builder",
+    "find_constant_certificate_builder",
+    "find_log_certificate",
+    "find_unrestricted_certificate",
+    "format_problem",
+    "has_constant_certificate",
+    "has_log_certificate",
+    "has_logstar_certificate",
+    "parse_configuration",
+    "parse_problem",
+    "parse_problem_lines",
+    "remove_path_inflexible_configurations",
+]

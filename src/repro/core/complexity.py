@@ -1,0 +1,141 @@
+"""Complexity classes of LCL problems on rooted regular trees.
+
+The main theorem of the paper states that every LCL problem on rooted regular
+trees has one of exactly four round complexities, in every one of the four
+standard models (det/rand LOCAL, det/rand CONGEST):
+
+* ``O(1)``,
+* ``Θ(log* n)``,
+* ``Θ(log n)``,
+* ``Θ(n^{1/k})`` for some integer ``k >= 1``.
+
+We additionally report ``UNSOLVABLE`` for problems that admit no valid labeling
+of sufficiently deep complete trees at all (the paper implicitly excludes these).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from .configuration import Label
+
+
+class ComplexityClass(enum.Enum):
+    """The possible distributed round complexities (Theorem of Section 3)."""
+
+    UNSOLVABLE = "unsolvable"
+    CONSTANT = "O(1)"
+    LOGSTAR = "Theta(log* n)"
+    LOG = "Theta(log n)"
+    POLYNOMIAL = "n^Theta(1)"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.value
+
+    @property
+    def order(self) -> int:
+        """A total order from easiest (0) to hardest (4)."""
+        ordering = {
+            ComplexityClass.CONSTANT: 0,
+            ComplexityClass.LOGSTAR: 1,
+            ComplexityClass.LOG: 2,
+            ComplexityClass.POLYNOMIAL: 3,
+            ComplexityClass.UNSOLVABLE: 4,
+        }
+        return ordering[self]
+
+    def __lt__(self, other: "ComplexityClass") -> bool:
+        if not isinstance(other, ComplexityClass):
+            return NotImplemented
+        return self.order < other.order
+
+    def __le__(self, other: "ComplexityClass") -> bool:
+        if not isinstance(other, ComplexityClass):
+            return NotImplemented
+        return self.order <= other.order
+
+
+@dataclass(frozen=True)
+class ClassificationResult:
+    """Full output of the classifier for a single problem.
+
+    Attributes
+    ----------
+    complexity:
+        The complexity class of the problem.
+    polynomial_exponent_bound:
+        For ``POLYNOMIAL`` problems, the number ``k`` of pruning iterations of
+        Algorithm 2; the problem requires ``Ω(n^{1/k})`` rounds (Theorem 5.2).
+        The paper's algorithm does not pin down the exact exponent except when
+        ``k = 1`` (then the complexity is ``Θ(n)``).
+    zero_round_solvable:
+        Whether all nodes may output a single fixed label with no communication.
+    log_certificate_labels:
+        Label set of the certificate for ``O(log n)`` solvability (if any).
+    logstar_certificate_labels:
+        Label set of the uniform certificate for ``O(log* n)`` solvability (if any).
+    constant_certificate_labels:
+        Label set of the certificate for ``O(1)`` solvability (if any).
+    special_configuration:
+        The special configuration used by the ``O(1)`` certificate (if any).
+    pruning_sets:
+        The sequence ``Σ_1, Σ_2, ...`` of path-inflexible label sets removed by
+        Algorithm 2 (possibly empty).
+    notes:
+        Free-form diagnostic notes.
+    """
+
+    complexity: ComplexityClass
+    polynomial_exponent_bound: Optional[int] = None
+    zero_round_solvable: bool = False
+    log_certificate_labels: Optional[frozenset] = None
+    logstar_certificate_labels: Optional[frozenset] = None
+    constant_certificate_labels: Optional[frozenset] = None
+    special_configuration: Optional[object] = None
+    pruning_sets: Tuple[frozenset, ...] = field(default_factory=tuple)
+    notes: Tuple[str, ...] = field(default_factory=tuple)
+
+    def describe(self) -> str:
+        """Human readable description of the classification."""
+        parts = [f"complexity: {self.complexity.value}"]
+        if self.complexity is ComplexityClass.POLYNOMIAL:
+            k = self.polynomial_exponent_bound or 1
+            if k == 1:
+                parts.append("exact bound: Theta(n)")
+            else:
+                parts.append(f"lower bound: Omega(n^(1/{k}))")
+        if self.zero_round_solvable:
+            parts.append("zero-round solvable")
+        if self.log_certificate_labels is not None:
+            parts.append(
+                "log-certificate labels: {" + ", ".join(sorted(self.log_certificate_labels)) + "}"
+            )
+        if self.logstar_certificate_labels is not None:
+            parts.append(
+                "log*-certificate labels: {"
+                + ", ".join(sorted(self.logstar_certificate_labels))
+                + "}"
+            )
+        if self.constant_certificate_labels is not None:
+            parts.append(
+                "O(1)-certificate labels: {"
+                + ", ".join(sorted(self.constant_certificate_labels))
+                + "}"
+            )
+        if self.special_configuration is not None:
+            parts.append(f"special configuration: {self.special_configuration}")
+        return "; ".join(parts)
+
+    def is_solvable(self) -> bool:
+        """Whether the problem is solvable at all."""
+        return self.complexity is not ComplexityClass.UNSOLVABLE
+
+    def randomized_complexity(self) -> ComplexityClass:
+        """The randomized complexity — identical to the deterministic one (Section 1.5)."""
+        return self.complexity
+
+    def congest_complexity(self) -> ComplexityClass:
+        """The CONGEST complexity — identical to the LOCAL one (Section 1.5)."""
+        return self.complexity

@@ -1,0 +1,118 @@
+"""Node configurations of LCL problems on rooted regular trees.
+
+A configuration ``x : y1 y2 ... yδ`` (Definition 4.1 of the paper) states that an
+internal node labeled ``x`` may have children labeled ``y1, ..., yδ`` *in some
+order*.  The order of the children is irrelevant, so a configuration is a pair
+``(parent, multiset of children)``.  We store the children as a sorted tuple,
+which gives every configuration a unique canonical form and makes configurations
+hashable and comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import permutations
+from typing import Iterable, Iterator, Mapping, Sequence, Tuple
+
+Label = str
+"""Type alias for node labels.  Labels are short strings such as ``"1"`` or ``"a"``."""
+
+
+@dataclass(frozen=True, order=True)
+class Configuration:
+    """A single allowed configuration ``parent : children``.
+
+    Parameters
+    ----------
+    parent:
+        The label of the internal node.
+    children:
+        The labels of its ``δ`` children.  The tuple is canonicalized (sorted) on
+        construction, so ``Configuration("1", ("2", "3"))`` and
+        ``Configuration("1", ("3", "2"))`` compare equal.
+    """
+
+    parent: Label
+    children: Tuple[Label, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", tuple(sorted(self.children)))
+
+    @property
+    def delta(self) -> int:
+        """The number of children in this configuration."""
+        return len(self.children)
+
+    @property
+    def labels(self) -> frozenset:
+        """The set of labels used by this configuration (parent and children)."""
+        return frozenset((self.parent,) + self.children)
+
+    def uses_only(self, allowed: Iterable[Label]) -> bool:
+        """Return ``True`` iff every label of the configuration is in ``allowed``."""
+        allowed_set = frozenset(allowed)
+        return self.labels <= allowed_set
+
+    def child_multiset(self) -> Mapping[Label, int]:
+        """Return the multiset of children labels as a ``{label: count}`` mapping."""
+        counts: dict = {}
+        for child in self.children:
+            counts[child] = counts.get(child, 0) + 1
+        return counts
+
+    def contains_child(self, label: Label) -> bool:
+        """Return ``True`` iff some child carries ``label``."""
+        return label in self.children
+
+    def is_special(self) -> bool:
+        """Return ``True`` iff this is a *special* configuration (Definition 7.1).
+
+        A configuration is special when the parent label also appears among the
+        children, i.e. it has the form ``(a : b1, ..., a, ..., bδ)``.  Special
+        configurations are the key ingredient of constant-time solvability.
+        """
+        return self.parent in self.children
+
+    def matches_children(self, assignment: Sequence[Label]) -> bool:
+        """Check whether ``assignment`` is a permutation of this configuration's children."""
+        return tuple(sorted(assignment)) == self.children
+
+    def child_orderings(self) -> Iterator[Tuple[Label, ...]]:
+        """Iterate over the distinct ordered arrangements of the children labels."""
+        seen = set()
+        for ordering in permutations(self.children):
+            if ordering not in seen:
+                seen.add(ordering)
+                yield ordering
+
+    def replace_one_child(self, old: Label, new: Label) -> "Configuration":
+        """Return a configuration with one occurrence of ``old`` replaced by ``new``.
+
+        Raises ``ValueError`` if ``old`` does not occur among the children.
+        """
+        children = list(self.children)
+        try:
+            index = children.index(old)
+        except ValueError as exc:
+            raise ValueError(f"label {old!r} is not a child of {self}") from exc
+        children[index] = new
+        return Configuration(self.parent, tuple(children))
+
+    def to_text(self) -> str:
+        """Render the configuration in the paper's notation, e.g. ``"1 : 2 3"``."""
+        return f"{self.parent} : {' '.join(self.children)}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()
+
+
+def configuration(parent: Label, *children: Label) -> Configuration:
+    """Convenience constructor: ``configuration("1", "2", "3")``."""
+    return Configuration(parent, tuple(children))
+
+
+def configurations_from_pairs(
+    pairs: Iterable[Tuple[Label, Sequence[Label]]]
+) -> frozenset:
+    """Build a frozenset of :class:`Configuration` from ``(parent, children)`` pairs."""
+    return frozenset(Configuration(parent, tuple(children)) for parent, children in pairs)

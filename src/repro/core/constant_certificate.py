@@ -1,0 +1,55 @@
+"""Certificates for ``O(1)`` solvability (Section 7, Algorithm 5).
+
+A problem is constant-time solvable iff it admits a certificate for
+``O(log* n)`` solvability together with a *special configuration*
+``(a : b_1, ..., a, ..., b_δ)`` such that all labels of the configuration belong
+to the certificate labels and ``a`` occurs at a certificate leaf
+(Definition 7.1, Theorems 7.2 and 7.7).
+
+Algorithm 5 searches, for every label subset and every special configuration of
+the restricted problem, for a certificate builder whose designated leaf label is
+the repeated label of the configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from .configuration import Configuration, Label
+from .problem import LCLProblem
+from .logstar_certificate import (
+    CertificateBuilder,
+    candidate_label_subsets,
+    find_unrestricted_certificate,
+)
+
+
+def special_configurations_of(problem: LCLProblem) -> List[Configuration]:
+    """All special configurations ``(a : ..., a, ...)`` of the problem (sorted)."""
+    return problem.special_configurations()
+
+
+def find_constant_certificate_builder(
+    problem: LCLProblem,
+) -> Optional[Tuple[CertificateBuilder, Configuration]]:
+    """Algorithm 5: find a builder witnessing ``O(1)`` solvability.
+
+    Returns a pair ``(builder, special configuration)`` or ``None``.  The builder
+    is computed by Algorithm 3 with the repeated label of the special
+    configuration as the required leaf label.
+    """
+    for subset in candidate_label_subsets(problem):
+        restricted = problem.restrict(subset)
+        specials = special_configurations_of(restricted)
+        if not specials:
+            continue
+        for config in specials:
+            builder = find_unrestricted_certificate(restricted, special_label=config.parent)
+            if builder is not None:
+                return builder, config
+    return None
+
+
+def has_constant_certificate(problem: LCLProblem) -> bool:
+    """Decision version: is the round complexity ``O(1)`` (Theorem 7.10)?"""
+    return find_constant_certificate_builder(problem) is not None

@@ -1,0 +1,170 @@
+"""Certificates for ``O(log n)`` solvability (Section 5, Algorithms 1 and 2).
+
+The decision between round complexity ``O(log n)`` and ``n^{Ω(1)}`` works by
+iteratively pruning *path-inflexible* labels:
+
+* :func:`remove_path_inflexible_configurations` is Algorithm 1: restrict the
+  problem to its path-flexible labels.
+* :func:`find_log_certificate` is Algorithm 2: iterate Algorithm 1 until a fixed
+  point.  If the fixed point is empty the problem requires ``n^{Ω(1)}`` rounds
+  (Theorem 5.2); otherwise the restriction of the fixed point to a minimal
+  absorbing subgraph of its automaton is the *certificate for O(log n)
+  solvability* and the problem is solvable in ``O(log n)`` rounds even in
+  CONGEST (Theorem 5.1).
+
+The whole procedure runs in time polynomial in the problem description
+(Lemma 5.4 / Theorem 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..automata.flexibility import automaton_of, path_flexible_labels, path_inflexible_labels
+from ..automata.semiautomaton import PathAutomaton
+from .configuration import Label
+from .problem import LCLProblem
+
+
+@dataclass(frozen=True)
+class LogCertificate:
+    """A certificate for ``O(log n)`` solvability.
+
+    Attributes
+    ----------
+    problem:
+        The original problem ``Π``.
+    certificate_problem:
+        The path-flexible restriction ``Π_pf`` returned by Algorithm 2: every
+        label is flexible, the automaton is strongly connected and has at least
+        one edge (Lemma 5.5).  Any solution of ``Π_pf`` is a solution of ``Π``.
+    pruning_sets:
+        The sequence ``Σ_1, Σ_2, ...`` of path-inflexible label sets removed
+        before the fixed point was reached.
+    iterations:
+        The number of invocations of Algorithm 1 until the fixed point.
+    """
+
+    problem: LCLProblem
+    certificate_problem: LCLProblem
+    pruning_sets: Tuple[frozenset, ...] = field(default_factory=tuple)
+    iterations: int = 0
+
+    @property
+    def labels(self) -> frozenset:
+        """The label set of the certificate problem."""
+        return self.certificate_problem.labels
+
+    def automaton(self) -> PathAutomaton:
+        """The automaton of the certificate problem (strongly connected, flexible)."""
+        return automaton_of(self.certificate_problem)
+
+    def max_flexibility(self) -> int:
+        """Maximum flexibility over the certificate labels (used by Theorem 5.1)."""
+        return self.automaton().max_flexibility()
+
+    def rake_compress_parameter(self) -> int:
+        """The path-length parameter ``k`` of Theorem 5.1.
+
+        ``k = max flexibility + |Σ(Π_pf)|``: compress paths of at least this
+        length can always be completed because the automaton admits a walk of any
+        length ``>= k`` between any pair of certificate labels.
+        """
+        return self.max_flexibility() + len(self.labels)
+
+    def validate(self) -> List[str]:
+        """Check the structural guarantees of Lemma 5.5; return a list of issues."""
+        issues: List[str] = []
+        if self.certificate_problem.is_empty():
+            issues.append("certificate problem is empty")
+            return issues
+        automaton = self.automaton()
+        if automaton.num_edges() == 0:
+            issues.append("certificate automaton has no edges")
+        if not automaton.is_strongly_connected():
+            issues.append("certificate automaton is not strongly connected")
+        inflexible = [state for state in automaton.states if not automaton.is_flexible(state)]
+        if inflexible:
+            issues.append(f"certificate contains inflexible labels: {sorted(inflexible)}")
+        if not self.certificate_problem.labels <= self.problem.labels:
+            issues.append("certificate labels are not a subset of the problem labels")
+        for config in self.certificate_problem.configurations:
+            if config not in self.problem.configurations:
+                issues.append(f"certificate configuration {config} not allowed by the problem")
+        return issues
+
+
+@dataclass(frozen=True)
+class LogCertificateAbsence:
+    """Returned by Algorithm 2 when the problem has no ``O(log n)`` certificate.
+
+    ``iterations`` is the number ``k`` of pruning steps; by Theorem 5.2 the
+    problem then requires ``Ω(n^{1/k})`` rounds.
+    """
+
+    problem: LCLProblem
+    pruning_sets: Tuple[frozenset, ...] = field(default_factory=tuple)
+    iterations: int = 0
+
+    @property
+    def lower_bound_exponent(self) -> int:
+        """The ``k`` of the ``Ω(n^{1/k})`` lower bound (at least 1)."""
+        return max(1, self.iterations)
+
+
+def remove_path_inflexible_configurations(problem: LCLProblem) -> LCLProblem:
+    """Algorithm 1: restrict ``problem`` to its path-flexible labels."""
+    flexible = path_flexible_labels(problem)
+    return problem.restrict(flexible, name=problem.name)
+
+
+def pruning_sequence(problem: LCLProblem) -> Tuple[List[LCLProblem], List[frozenset]]:
+    """Iterate Algorithm 1 until a fixed point.
+
+    Returns the sequence of problems ``Π_0, Π_1, ..., Π_k`` (with ``Π_k`` the
+    fixed point) and the sequence of removed label sets ``Σ_1, ..., Σ_k``
+    (empty sets are not recorded: the iteration stops at the first step that
+    removes nothing).
+    """
+    problems = [problem]
+    removed: List[frozenset] = []
+    current = problem
+    while True:
+        inflexible = path_inflexible_labels(current)
+        if not inflexible or current.is_empty():
+            break
+        removed.append(frozenset(inflexible))
+        current = current.restrict(current.labels - inflexible, name=current.name)
+        problems.append(current)
+    return problems, removed
+
+
+def find_log_certificate(problem: LCLProblem):
+    """Algorithm 2: find a certificate for ``O(log n)`` solvability.
+
+    Returns a :class:`LogCertificate` when the pruning fixed point is non-empty,
+    and a :class:`LogCertificateAbsence` (the paper's ``ε``) otherwise.
+    """
+    problems, removed = pruning_sequence(problem)
+    fixed_point = problems[-1]
+    if fixed_point.is_empty():
+        return LogCertificateAbsence(
+            problem=problem,
+            pruning_sets=tuple(removed),
+            iterations=len(removed),
+        )
+    automaton = automaton_of(fixed_point)
+    absorbing = automaton.minimal_absorbing_states()
+    certificate_problem = fixed_point.restrict(absorbing, name=f"{problem.name}|pf")
+    return LogCertificate(
+        problem=problem,
+        certificate_problem=certificate_problem,
+        pruning_sets=tuple(removed),
+        iterations=len(removed),
+    )
+
+
+def has_log_certificate(problem: LCLProblem) -> bool:
+    """Decision version: is the round complexity ``O(log n)`` (Theorem 5.3)?"""
+    return isinstance(find_log_certificate(problem), LogCertificate)

@@ -1,0 +1,147 @@
+"""Parsing and formatting of LCL problem descriptions.
+
+The textual format mirrors the paper's notation and the authors' classifier tool:
+one configuration per line, parent first, then the children, e.g. the 3-coloring
+problem of Section 1.2 is written as::
+
+    1 : 2 2
+    1 : 2 3
+    1 : 3 3
+    2 : 1 1
+    2 : 1 3
+    2 : 3 3
+    3 : 1 1
+    3 : 1 2
+    3 : 2 2
+
+Both ``:`` separated and whitespace-only lines are accepted; when no ``:`` is
+present the first token is the parent.  Compact single-character notation such as
+``"1 : 22"`` (as used in the paper for binary trees) is also accepted: a children
+token longer than one character that is not a declared multi-character label is
+split into its characters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .configuration import Configuration, Label
+from .problem import LCLError, LCLProblem
+
+
+def _split_children_token(token: str, known_labels: Optional[Iterable[Label]]) -> List[Label]:
+    """Split a children token into labels.
+
+    Tokens are normally whitespace separated, but the paper's compact notation
+    glues single-character labels together (``"22"`` means two children labeled
+    ``2``).  A token is split into characters when it is not itself a known
+    label.
+    """
+    known = set(known_labels) if known_labels is not None else set()
+    if token in known or len(token) == 1:
+        return [token]
+    return list(token)
+
+
+def parse_configuration(line: str, known_labels: Optional[Iterable[Label]] = None) -> Configuration:
+    """Parse a single configuration line such as ``"1 : 2 3"`` or ``"1:23"``."""
+    text = line.strip()
+    if not text:
+        raise LCLError("cannot parse an empty configuration line")
+    if ":" in text:
+        parent_text, children_text = text.split(":", 1)
+        parent_tokens = parent_text.split()
+        if len(parent_tokens) != 1:
+            raise LCLError(f"expected exactly one parent label in {line!r}")
+        parent = parent_tokens[0]
+        child_tokens = children_text.split()
+    else:
+        tokens = text.split()
+        parent, child_tokens = tokens[0], tokens[1:]
+    children: List[Label] = []
+    for token in child_tokens:
+        children.extend(_split_children_token(token, known_labels))
+    if not children:
+        raise LCLError(f"configuration {line!r} has no children")
+    return Configuration(parent, tuple(children))
+
+
+def parse_problem(
+    text: str,
+    delta: Optional[int] = None,
+    labels: Optional[Iterable[Label]] = None,
+    name: str = "",
+) -> LCLProblem:
+    """Parse a whole problem description.
+
+    Parameters
+    ----------
+    text:
+        Configuration lines separated by newlines or semicolons.  Blank lines and
+        lines starting with ``#`` are ignored.
+    delta:
+        Expected number of children; inferred from the first configuration when
+        omitted.
+    labels:
+        Optional explicit alphabet (useful when some labels never occur in a
+        configuration, or when labels have more than one character).
+    name:
+        Optional problem name.
+    """
+    lines: List[str] = []
+    for raw_line in text.replace(";", "\n").splitlines():
+        stripped = raw_line.strip()
+        if stripped and not stripped.startswith("#"):
+            lines.append(stripped)
+    if not lines:
+        raise LCLError("problem description contains no configurations")
+    configurations = [parse_configuration(line, labels) for line in lines]
+    inferred_delta = configurations[0].delta
+    if delta is None:
+        delta = inferred_delta
+    for config in configurations:
+        if config.delta != delta:
+            raise LCLError(
+                f"configuration {config} has {config.delta} children, expected {delta}"
+            )
+    return LCLProblem.create(
+        delta=delta,
+        configurations=[(c.parent, c.children) for c in configurations],
+        labels=labels,
+        name=name,
+    )
+
+
+def format_problem(problem: LCLProblem, compact: bool = False) -> str:
+    """Render a problem back to its textual form.
+
+    ``compact=True`` uses the paper's glued notation (only valid when every label
+    is a single character).
+    """
+    lines: List[str] = []
+    for config in problem.sorted_configurations():
+        if compact and all(len(label) == 1 for label in config.labels):
+            lines.append(f"{config.parent} : {''.join(config.children)}")
+        else:
+            lines.append(config.to_text())
+    return "\n".join(lines)
+
+
+def parse_problem_lines(
+    lines: Sequence[str],
+    delta: Optional[int] = None,
+    labels: Optional[Iterable[Label]] = None,
+    name: str = "",
+) -> LCLProblem:
+    """Parse a problem given as a sequence of configuration lines."""
+    return parse_problem("\n".join(lines), delta=delta, labels=labels, name=name)
+
+
+def round_trip(problem: LCLProblem) -> LCLProblem:
+    """Format then re-parse a problem (used by tests to check parser fidelity)."""
+    return parse_problem(
+        format_problem(problem),
+        delta=problem.delta,
+        labels=problem.labels,
+        name=problem.name,
+    )

@@ -1,0 +1,51 @@
+"""Distributed substrate: the LOCAL/CONGEST simulator and the certificate-driven solvers."""
+
+from .network import NodeInfo, SimulationResult, Simulator, StateExchangeAlgorithm, run_algorithm
+from .rounds import MessageStats, RoundBreakdown, log_star, message_size_bits
+from .coloring import (
+    TreeColoringAlgorithm,
+    cole_vishkin_iterations,
+    cole_vishkin_step,
+    three_color_tree,
+    verify_proper_coloring,
+)
+from .rake_compress import RakeCompressDecomposition, rake_compress_decomposition
+from .solvers import (
+    ColoringSolver,
+    GlobalSolver,
+    LogSolver,
+    MISAlgorithm,
+    MISSolver,
+    PolynomialSolver,
+    Solver,
+    SolverError,
+    SolverResult,
+)
+
+__all__ = [
+    "ColoringSolver",
+    "GlobalSolver",
+    "LogSolver",
+    "MISAlgorithm",
+    "MISSolver",
+    "MessageStats",
+    "NodeInfo",
+    "PolynomialSolver",
+    "RakeCompressDecomposition",
+    "RoundBreakdown",
+    "SimulationResult",
+    "Simulator",
+    "Solver",
+    "SolverError",
+    "SolverResult",
+    "StateExchangeAlgorithm",
+    "TreeColoringAlgorithm",
+    "cole_vishkin_iterations",
+    "cole_vishkin_step",
+    "log_star",
+    "message_size_bits",
+    "rake_compress_decomposition",
+    "run_algorithm",
+    "three_color_tree",
+    "verify_proper_coloring",
+]

@@ -1,0 +1,147 @@
+"""Distributed coloring of rooted trees in ``O(log* n)`` rounds.
+
+This module implements the classic Cole–Vishkin / Goldberg–Plotkin–Shannon
+algorithm for 3-coloring rooted trees, written as a genuine state-exchange
+algorithm for the simulator of :mod:`repro.distributed.network`:
+
+1. *Cole–Vishkin phase*: starting from the unique identifiers, every node
+   repeatedly replaces its color by the position of the lowest bit in which it
+   differs from its parent's color together with its own bit value.  After
+   ``O(log* n)`` rounds the colors live in ``{0, ..., 5}`` and every node still
+   differs from its parent.
+2. *Shift-down + recolor phase*: for each color ``c ∈ {5, 4, 3}`` the coloring is
+   shifted down (each node adopts its parent's color, which makes all siblings
+   agree) and the nodes of color ``c`` pick a free color in ``{0, 1, 2}``.
+
+The result is a proper 3-coloring of the tree (every node differs from its
+parent and all its children), which is exactly a solution of the ``c``-coloring
+LCL problems of Section 1.2 for every ``c >= 3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.configuration import Label
+from ..trees.rooted_tree import RootedTree
+from .network import NodeInfo, SimulationResult, StateExchangeAlgorithm, run_algorithm
+
+
+def cole_vishkin_step(color: int, parent_color: int) -> int:
+    """One Cole–Vishkin reduction step: encode the lowest differing bit position and value."""
+    if color == parent_color:
+        raise ValueError("Cole-Vishkin requires the colors of parent and child to differ")
+    difference = color ^ parent_color
+    index = (difference & -difference).bit_length() - 1
+    bit = (color >> index) & 1
+    return 2 * index + bit
+
+
+def cole_vishkin_iterations(max_identifier: int) -> int:
+    """The number of Cole–Vishkin iterations needed to reach colors in ``{0, ..., 5}``."""
+    bits = max(3, int(max_identifier).bit_length())
+    iterations = 0
+    # Each step maps b-bit colors to colors < 2 * b; iterate until 3 bits (6 colors).
+    current = 1 << bits
+    while current > 6:
+        bits = max(1, (current - 1).bit_length())
+        current = 2 * bits
+        iterations += 1
+        if iterations > 64:  # pragma: no cover - defensive
+            break
+    return iterations + 1
+
+
+@dataclass(frozen=True)
+class _ColoringState:
+    round_index: int
+    color: int
+    done: bool = False
+
+
+class TreeColoringAlgorithm(StateExchangeAlgorithm[_ColoringState]):
+    """Distributed 3-coloring of a rooted tree (Cole–Vishkin + shift-down)."""
+
+    def __init__(self, max_identifier: int):
+        self.cv_rounds = cole_vishkin_iterations(max_identifier)
+        # Three (shift-down, recolor) pairs eliminate the colors 5, 4 and 3.
+        self.total_rounds = self.cv_rounds + 6
+
+    # ------------------------------------------------------------------
+    def initial_state(self, info: NodeInfo) -> _ColoringState:
+        return _ColoringState(round_index=0, color=info.identifier)
+
+    def _virtual_parent_color(self, color: int) -> int:
+        """A deterministic color differing from ``color`` (used by the root)."""
+        return color ^ 1
+
+    def update(
+        self,
+        info: NodeInfo,
+        state: _ColoringState,
+        parent_state: Optional[_ColoringState],
+        children_states: Sequence[_ColoringState],
+    ) -> _ColoringState:
+        round_index = state.round_index + 1
+        if state.done:
+            return replace(state, round_index=round_index)
+        color = state.color
+        parent_color = (
+            parent_state.color if parent_state is not None else self._virtual_parent_color(color)
+        )
+        if round_index <= self.cv_rounds:
+            new_color = cole_vishkin_step(color, parent_color)
+            return _ColoringState(round_index, new_color)
+        # Shift-down / recolor phase.
+        phase = round_index - self.cv_rounds  # 1..6
+        eliminate = {1: 5, 2: 5, 3: 4, 4: 4, 5: 3, 6: 3}[phase]
+        if phase % 2 == 1:
+            # Shift down: adopt the parent's color; the root picks a fresh color.
+            if parent_state is not None:
+                new_color = parent_state.color
+            else:
+                new_color = min(c for c in range(6) if c != color)
+            return _ColoringState(round_index, new_color)
+        # Recolor the nodes whose color equals ``eliminate``.
+        if color == eliminate:
+            forbidden = set()
+            if parent_state is not None:
+                forbidden.add(parent_state.color)
+            forbidden.update(child.color for child in children_states)
+            new_color = min(c for c in range(3) if c not in forbidden)
+        else:
+            new_color = color
+        done = round_index >= self.total_rounds
+        return _ColoringState(round_index, new_color, done=done)
+
+    def output(self, info: NodeInfo, state: _ColoringState) -> Optional[Label]:
+        if not state.done:
+            return None
+        return str(state.color + 1)
+
+
+def three_color_tree(
+    tree: RootedTree, identifiers: Optional[Sequence[int]] = None, delta: int = 2
+) -> Tuple[Dict[int, int], int]:
+    """Compute a proper 3-coloring of ``tree`` distributedly.
+
+    Returns a mapping ``node -> color`` with colors in ``{0, 1, 2}`` and the
+    number of communication rounds used.
+    """
+    ids = list(identifiers) if identifiers is not None else tree.default_identifiers()
+    algorithm = TreeColoringAlgorithm(max_identifier=max(ids))
+    result = run_algorithm(algorithm, tree, identifiers=ids, delta=delta)
+    if not result.converged:
+        raise RuntimeError("tree coloring did not converge")
+    colors = {node: int(label) - 1 for node, label in result.outputs.items()}
+    return colors, result.rounds
+
+
+def verify_proper_coloring(tree: RootedTree, colors: Dict[int, int]) -> bool:
+    """Whether ``colors`` is a proper coloring of the tree (every child differs from its parent)."""
+    for node in tree.nodes():
+        parent = tree.parent[node]
+        if parent is not None and colors[node] == colors[parent]:
+            return False
+    return True

@@ -1,0 +1,162 @@
+"""A synchronous LOCAL/CONGEST simulator for rooted trees.
+
+The simulator executes *state-exchange algorithms*: in every round each node
+reads the public states of its parent and children (exactly the information a
+LOCAL-model node can learn in one round) and computes a new state.  A node's
+initial state may depend only on its local input — its identifier, its number of
+children, whether it is the root, and the global parameters ``n`` and ``δ`` —
+matching the LOCAL model's initial knowledge (Section 4.2).
+
+The simulator measures the number of rounds until every node has produced an
+output and, for CONGEST accounting, the size of the largest state exchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Generic, List, Optional, Sequence, Tuple, TypeVar
+
+from ..core.configuration import Label
+from ..trees.rooted_tree import RootedTree
+from .rounds import MessageStats, message_size_bits
+
+State = TypeVar("State")
+
+
+@dataclass(frozen=True)
+class NodeInfo:
+    """The local input of a node in the LOCAL model."""
+
+    node: int
+    identifier: int
+    is_root: bool
+    num_children: int
+    port: int
+    n: int
+    delta: int
+
+
+class StateExchangeAlgorithm(ABC, Generic[State]):
+    """A distributed algorithm written in the state-exchange style.
+
+    In every round each node sees the *previous-round* states of its parent and
+    its children (``None`` for a missing parent) and computes its next state.
+    The algorithm terminates when every node reports an output.
+    """
+
+    @abstractmethod
+    def initial_state(self, info: NodeInfo) -> State:
+        """The state of a node before any communication."""
+
+    @abstractmethod
+    def update(
+        self,
+        info: NodeInfo,
+        state: State,
+        parent_state: Optional[State],
+        children_states: Sequence[State],
+    ) -> State:
+        """Compute the next state from the neighbors' previous states."""
+
+    @abstractmethod
+    def output(self, info: NodeInfo, state: State) -> Optional[Label]:
+        """The node's output, or ``None`` if it has not terminated yet."""
+
+
+@dataclass
+class SimulationResult:
+    """The outcome of running a state-exchange algorithm on a tree."""
+
+    outputs: Dict[int, Label]
+    rounds: int
+    message_stats: MessageStats
+    converged: bool
+
+
+class Simulator:
+    """Runs state-exchange algorithms on rooted trees."""
+
+    def __init__(self, tree: RootedTree, identifiers: Optional[Sequence[int]] = None, delta: int = 2):
+        self.tree = tree
+        self.delta = delta
+        ids = list(identifiers) if identifiers is not None else tree.default_identifiers()
+        if len(ids) != tree.num_nodes:
+            raise ValueError("identifier list length must equal the number of nodes")
+        if len(set(ids)) != len(ids):
+            raise ValueError("identifiers must be unique")
+        self.identifiers = ids
+        self.infos = [
+            NodeInfo(
+                node=node,
+                identifier=ids[node],
+                is_root=tree.parent[node] is None,
+                num_children=len(tree.children[node]),
+                port=tree.port_of(node),
+                n=tree.num_nodes,
+                delta=delta,
+            )
+            for node in tree.nodes()
+        ]
+
+    def run(
+        self,
+        algorithm: StateExchangeAlgorithm,
+        max_rounds: Optional[int] = None,
+    ) -> SimulationResult:
+        """Run ``algorithm`` until all nodes produce an output (or ``max_rounds``)."""
+        tree = self.tree
+        n = tree.num_nodes
+        limit = max_rounds if max_rounds is not None else 4 * n + 64
+        stats = MessageStats(congest_budget_bits=max(1, math.ceil(math.log2(max(2, n)))))
+
+        states: List[object] = [
+            algorithm.initial_state(self.infos[node]) for node in tree.nodes()
+        ]
+        rounds = 0
+        outputs: Dict[int, Label] = {}
+
+        def collect_outputs() -> bool:
+            outputs.clear()
+            done = True
+            for node in tree.nodes():
+                value = algorithm.output(self.infos[node], states[node])
+                if value is None:
+                    done = False
+                else:
+                    outputs[node] = value
+            return done
+
+        if collect_outputs():
+            return SimulationResult(dict(outputs), 0, stats, True)
+
+        while rounds < limit:
+            rounds += 1
+            for node in tree.nodes():
+                stats.record(message_size_bits(states[node]))
+            new_states: List[object] = [None] * n
+            for node in tree.nodes():
+                parent = tree.parent[node]
+                parent_state = states[parent] if parent is not None else None
+                children_states = [states[child] for child in tree.children[node]]
+                new_states[node] = algorithm.update(
+                    self.infos[node], states[node], parent_state, children_states
+                )
+            states = new_states
+            if collect_outputs():
+                return SimulationResult(dict(outputs), rounds, stats, True)
+        collect_outputs()
+        return SimulationResult(dict(outputs), rounds, stats, False)
+
+
+def run_algorithm(
+    algorithm: StateExchangeAlgorithm,
+    tree: RootedTree,
+    identifiers: Optional[Sequence[int]] = None,
+    delta: int = 2,
+    max_rounds: Optional[int] = None,
+) -> SimulationResult:
+    """Convenience wrapper around :class:`Simulator`."""
+    simulator = Simulator(tree, identifiers=identifiers, delta=delta)
+    return simulator.run(algorithm, max_rounds=max_rounds)

@@ -1,0 +1,150 @@
+"""The rake-and-compress decomposition RCP(p) of Definition 5.8.
+
+``RCP(p)`` iteratively partitions the nodes of a rooted tree into layers
+``V_1, V_2, ..., V_L``: in every iteration the current leaves (indegree 0) and
+the *long-path nodes* (indegree-1 nodes lying in a connected indegree-1 component
+of size at least ``p``) are removed.  Lemma 5.9 shows that a constant fraction of
+the nodes disappears per iteration, so ``L = O(log n)``, and Lemma 5.10 shows the
+decomposition can be computed distributedly in ``O(log n)`` rounds (each
+iteration costs ``O(p)`` rounds, because testing membership in a long path only
+requires looking ``p`` hops along the path).
+
+The decomposition is the backbone of the ``O(log n)`` solver of Theorem 5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..trees.rooted_tree import RootedTree
+
+
+@dataclass
+class RakeCompressDecomposition:
+    """The output of ``RCP(p)`` on a rooted tree.
+
+    Attributes
+    ----------
+    p:
+        The path-length threshold.
+    layer:
+        ``layer[v]`` is the iteration (1-based) at which ``v`` was removed.
+    kind:
+        ``"leaf"`` if the node was removed as a leaf (indegree 0) and ``"path"``
+        if it was removed as a long-path node (indegree 1).
+    path_components:
+        For every layer, the list of maximal compress paths removed in that
+        layer; each path is listed from its topmost node to its bottommost node.
+    num_layers:
+        The number of iterations ``L``.
+    rounds:
+        The number of LOCAL rounds charged for computing the decomposition
+        (``L * (p + 1)`` as in Lemma 5.10).
+    """
+
+    p: int
+    layer: Dict[int, int]
+    kind: Dict[int, str]
+    path_components: Dict[int, List[List[int]]]
+    num_layers: int
+    rounds: int
+
+    def nodes_in_layer(self, layer: int) -> List[int]:
+        """All nodes removed in the given layer."""
+        return [node for node, value in self.layer.items() if value == layer]
+
+    def leaf_nodes_in_layer(self, layer: int) -> List[int]:
+        """The leaf-type nodes of the given layer."""
+        return [
+            node
+            for node, value in self.layer.items()
+            if value == layer and self.kind[node] == "leaf"
+        ]
+
+
+def rake_compress_decomposition(tree: RootedTree, p: int) -> RakeCompressDecomposition:
+    """Compute ``RCP(p)`` (Definition 5.8) on ``tree``.
+
+    The computation is performed iteration by iteration, exactly as the
+    distributed algorithm would: membership of a node in the removal set of an
+    iteration only depends on its ``O(p)``-radius neighborhood in the remaining
+    graph, so each iteration is charged ``p + 1`` rounds (Lemma 5.10).
+    """
+    if p < 1:
+        raise ValueError("the path threshold p must be at least 1")
+    alive = set(tree.nodes())
+    alive_children_count: Dict[int, int] = {
+        node: len(tree.children[node]) for node in tree.nodes()
+    }
+    layer: Dict[int, int] = {}
+    kind: Dict[int, str] = {}
+    path_components: Dict[int, List[List[int]]] = {}
+    iteration = 0
+
+    while alive:
+        iteration += 1
+        leaves = [node for node in alive if alive_children_count[node] == 0]
+        degree_one = {node for node in alive if alive_children_count[node] == 1}
+
+        # Connected components of the indegree-1 nodes (connected through tree edges).
+        visited: set = set()
+        components: List[List[int]] = []
+        for node in degree_one:
+            if node in visited:
+                continue
+            # Walk up to the topmost indegree-1 node of this component.
+            top = node
+            while True:
+                parent = tree.parent[top]
+                if parent is not None and parent in degree_one and parent not in visited:
+                    top = parent
+                else:
+                    break
+            # Walk down collecting the component (each indegree-1 node has exactly
+            # one alive child, so the component is a vertical path).
+            component: List[int] = []
+            current: Optional[int] = top
+            while current is not None and current in degree_one and current not in visited:
+                visited.add(current)
+                component.append(current)
+                next_node: Optional[int] = None
+                for child in tree.children[current]:
+                    if child in alive and child in degree_one:
+                        next_node = child
+                        break
+                current = next_node
+            components.append(component)
+
+        long_paths = [component for component in components if len(component) >= p]
+        removed: List[int] = list(leaves)
+        for component in long_paths:
+            removed.extend(component)
+
+        if not removed:
+            # Cannot happen on finite trees (there is always a leaf), but guard anyway.
+            raise RuntimeError("rake-and-compress made no progress")
+
+        path_components[iteration] = long_paths
+        for node in leaves:
+            layer[node] = iteration
+            kind[node] = "leaf"
+        for component in long_paths:
+            for node in component:
+                layer[node] = iteration
+                kind[node] = "path"
+
+        for node in removed:
+            alive.discard(node)
+            parent = tree.parent[node]
+            if parent is not None and parent in alive:
+                alive_children_count[parent] -= 1
+
+    return RakeCompressDecomposition(
+        p=p,
+        layer=layer,
+        kind=kind,
+        path_components=path_components,
+        num_layers=iteration,
+        rounds=iteration * (p + 1),
+    )

@@ -1,0 +1,22 @@
+"""Distributed solvers, one per complexity class of the paper."""
+
+from .base import Solver, SolverError, SolverResult
+from .global_solver import GlobalSolver
+from .coloring_solver import ColoringSolver
+from .mis_solver import MISAlgorithm, MISSolver, MIS_MAGIC_STRING, independent_set_from_labeling
+from .log_solver import LogSolver
+from .polynomial_solver import PolynomialSolver
+
+__all__ = [
+    "ColoringSolver",
+    "GlobalSolver",
+    "LogSolver",
+    "MISAlgorithm",
+    "MISSolver",
+    "MIS_MAGIC_STRING",
+    "PolynomialSolver",
+    "Solver",
+    "SolverError",
+    "SolverResult",
+    "independent_set_from_labeling",
+]

@@ -1,0 +1,67 @@
+"""Common interface of the distributed solvers.
+
+Every solver takes a rooted tree (a full ``δ``-ary instance) and produces a
+labeling together with an itemized round count.  Solvers differ in which
+complexity class they realize:
+
+================  =====================================  =======================
+Solver            Applicable problems                     Round complexity
+================  =====================================  =======================
+GlobalSolver      every solvable problem                  ``O(depth) = O(n)``
+ColoringSolver    proper ``c``-coloring, ``c >= 3``       ``Θ(log* n)``
+MISSolver         maximal independent set (Section 1.3)   ``O(1)``
+LogSolver         problems with an O(log n) certificate   ``Θ(log n)``
+PolynomialSolver  the family ``Π_k`` of Section 8         ``Θ(n^{1/k})``
+================  =====================================  =======================
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ...core.configuration import Label
+from ...core.problem import LCLProblem
+from ...labeling.verifier import VerificationReport, verify_labeling
+from ...trees.rooted_tree import RootedTree
+from ..rounds import RoundBreakdown
+
+
+class SolverError(RuntimeError):
+    """Raised when a solver cannot be applied to a problem or instance."""
+
+
+@dataclass
+class SolverResult:
+    """A labeling together with the rounds spent producing it."""
+
+    labeling: Dict[int, Label]
+    rounds: int
+    breakdown: RoundBreakdown = field(default_factory=RoundBreakdown)
+    solver_name: str = ""
+
+    def verify(self, problem: LCLProblem, tree: RootedTree) -> VerificationReport:
+        """Verify the labeling against the problem on the instance."""
+        return verify_labeling(problem, tree, self.labeling)
+
+
+class Solver(ABC):
+    """Base class of the distributed solvers."""
+
+    #: Human readable solver name (used in benchmark reports).
+    name: str = "solver"
+
+    def __init__(self, problem: LCLProblem):
+        self.problem = problem
+
+    @abstractmethod
+    def solve(self, tree: RootedTree, seed: Optional[int] = None) -> SolverResult:
+        """Produce a labeling of ``tree`` and account the rounds used."""
+
+    def _require_full_tree(self, tree: RootedTree) -> None:
+        """Most solvers assume full ``δ``-ary instances; fail loudly otherwise."""
+        if not tree.is_full_delta_ary(self.problem.delta):
+            raise SolverError(
+                f"{self.name} requires a full {self.problem.delta}-ary tree instance"
+            )

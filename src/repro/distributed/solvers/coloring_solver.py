@@ -1,0 +1,59 @@
+"""``Θ(log* n)`` solver for the coloring problems of Section 1.2.
+
+Proper ``c``-coloring with ``c >= 3`` colors is the canonical ``Θ(log* n)``
+problem in rooted trees; it is solved by the Cole–Vishkin / Goldberg–Plotkin–
+Shannon 3-coloring algorithm (a 3-coloring is in particular a valid
+``c``-coloring for every ``c >= 3``).  The algorithm runs as a genuine
+message-passing program in the simulator, so the reported round count is
+measured, not estimated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...core.problem import LCLProblem
+from ...trees.rooted_tree import RootedTree
+from ..coloring import three_color_tree
+from ..rounds import RoundBreakdown
+from .base import Solver, SolverError, SolverResult
+
+
+class ColoringSolver(Solver):
+    """Distributed proper coloring of rooted trees with at least three colors."""
+
+    name = "cole-vishkin-coloring"
+
+    def __init__(self, problem: LCLProblem):
+        super().__init__(problem)
+        self.num_colors = len(problem.labels)
+        if self.num_colors < 3:
+            raise SolverError("the Cole-Vishkin solver needs at least three colors")
+        self._color_labels = sorted(problem.labels)[:3]
+        # Sanity check: the problem must allow any proper coloring with the three
+        # chosen labels (true for the coloring problems of the catalog).
+        for parent in self._color_labels:
+            for first in self._color_labels:
+                for second in self._color_labels:
+                    if parent in (first, second):
+                        continue
+                    children = tuple(sorted([first] + [second] * (problem.delta - 1)))
+                    if not problem.has_configuration(parent, children):
+                        raise SolverError(
+                            "the problem does not allow all proper colorings with "
+                            f"labels {self._color_labels}"
+                        )
+
+    def solve(self, tree: RootedTree, seed: Optional[int] = None) -> SolverResult:
+        self._require_full_tree(tree)
+        identifiers = tree.default_identifiers(seed)
+        colors, rounds = three_color_tree(tree, identifiers, delta=self.problem.delta)
+        labeling = {node: self._color_labels[color] for node, color in colors.items()}
+        breakdown = RoundBreakdown()
+        breakdown.add("Cole-Vishkin color reduction + shift-down", rounds)
+        return SolverResult(
+            labeling=labeling,
+            rounds=breakdown.total,
+            breakdown=breakdown,
+            solver_name=self.name,
+        )

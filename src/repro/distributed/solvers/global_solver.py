@@ -1,0 +1,46 @@
+"""The trivial global solver: gather everything, solve centrally.
+
+In the LOCAL model a node that sees the entire tree can output any valid
+labeling; collecting the whole tree takes as many rounds as the tree's height
+(the root then broadcasts the solution back down, for another ``height``
+rounds).  This realizes the generic ``O(n)`` upper bound of the paper's
+``Θ(n^{1/k})`` class with ``k = 1`` and serves as the baseline for every other
+solver.  On hairy paths (the hard instances of Section 2.1.1) the height is
+``Θ(n)``, matching the lower bound for global problems such as 2-coloring.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...core.problem import LCLProblem
+from ...labeling.brute_force import greedy_top_down_solve
+from ...trees.rooted_tree import RootedTree
+from ..rounds import RoundBreakdown
+from .base import Solver, SolverError, SolverResult
+
+
+class GlobalSolver(Solver):
+    """Solve any solvable problem by global information gathering."""
+
+    name = "global-gather"
+
+    def __init__(self, problem: LCLProblem):
+        super().__init__(problem)
+        if not problem.is_solvable():
+            raise SolverError(f"problem {problem.name or problem} is unsolvable")
+
+    def solve(self, tree: RootedTree, seed: Optional[int] = None) -> SolverResult:
+        labeling = greedy_top_down_solve(self.problem, tree)
+        if labeling is None:  # pragma: no cover - guarded by the constructor
+            raise SolverError("problem became unsolvable on the given instance")
+        height = tree.height()
+        breakdown = RoundBreakdown()
+        breakdown.add("gather the tree at the root", height)
+        breakdown.add("broadcast the solution", height)
+        return SolverResult(
+            labeling=labeling,
+            rounds=breakdown.total,
+            breakdown=breakdown,
+            solver_name=self.name,
+        )

@@ -1,0 +1,219 @@
+"""The ``O(log n)`` rake-and-compress solver of Theorem 5.1.
+
+Given a problem with a certificate for ``O(log n)`` solvability — a restriction
+``Π_pf`` whose automaton is strongly connected with every label flexible — the
+solver labels any full ``δ``-ary tree as follows:
+
+1. compute the rake-and-compress decomposition ``RCP(k)`` with
+   ``k = max flexibility + |Σ(Π_pf)|`` (Definition 5.8, Lemma 5.10);
+2. process the layers from the last one (containing the root) down to the first
+   one; leaf-type nodes are completed using a continuation below, compress paths
+   are completed by walks of the prescribed length in the automaton
+   ``M(Π_pf)`` — such walks exist between any two certificate labels because
+   every label is flexible and the automaton is strongly connected (Lemma 5.5).
+
+Round accounting follows the paper's analysis: ``O(log n)`` rounds for the
+decomposition (measured number of layers times ``k + 1``), ``O(log* n)`` rounds
+for the distance coloring used to split long compress paths into constant-length
+chunks, and a constant number of rounds per layer.  The labels assigned inside a
+compress path are computed here with a single exact-length walk per path rather
+than per chunk — the resulting labeling is equally valid and the round count is
+unaffected; see DESIGN.md ("Substitutions").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...automata.semiautomaton import PathAutomaton
+from ...core.configuration import Configuration, Label
+from ...core.log_certificate import LogCertificate, find_log_certificate
+from ...core.problem import LCLProblem
+from ...trees.rooted_tree import RootedTree
+from ..rake_compress import RakeCompressDecomposition, rake_compress_decomposition
+from ..rounds import RoundBreakdown, log_star
+from .base import Solver, SolverError, SolverResult
+
+
+class LogSolver(Solver):
+    """Certificate-driven ``O(log n)`` solver (Theorem 5.1)."""
+
+    name = "rake-and-compress"
+
+    def __init__(self, problem: LCLProblem, certificate: Optional[LogCertificate] = None):
+        super().__init__(problem)
+        if certificate is None:
+            outcome = find_log_certificate(problem)
+            if not isinstance(outcome, LogCertificate):
+                raise SolverError(
+                    f"problem {problem.name or problem} has no certificate for O(log n) solvability"
+                )
+            certificate = outcome
+        self.certificate = certificate
+        self.pf_problem = certificate.certificate_problem
+        self.automaton: PathAutomaton = certificate.automaton()
+        # Minimum compress-path length so that exact-length walks always exist.
+        self.k = max(2, certificate.rake_compress_parameter())
+        self._default_label = min(self.pf_problem.labels)
+
+    # ------------------------------------------------------------------
+    def solve(self, tree: RootedTree, seed: Optional[int] = None) -> SolverResult:
+        self._require_full_tree(tree)
+        decomposition = rake_compress_decomposition(tree, self.k)
+        labeling: Dict[int, Label] = {}
+
+        for layer in range(decomposition.num_layers, 0, -1):
+            self._process_leaf_nodes(tree, decomposition, layer, labeling)
+            self._process_paths(tree, decomposition, layer, labeling)
+
+        breakdown = RoundBreakdown()
+        breakdown.add("rake-and-compress decomposition (RCP(k))", decomposition.rounds)
+        breakdown.add(
+            "distance-k coloring for splitting compress paths",
+            2 * log_star(tree.num_nodes) + 6,
+        )
+        breakdown.add(
+            "per-layer completion (constant rounds per layer)",
+            decomposition.num_layers * (3 * (self.k + 2)),
+        )
+        return SolverResult(
+            labeling=labeling,
+            rounds=breakdown.total,
+            breakdown=breakdown,
+            solver_name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    def _assign_configuration(
+        self,
+        tree: RootedTree,
+        node: int,
+        labeling: Dict[int, Label],
+        required_child: Optional[int] = None,
+        required_label: Optional[Label] = None,
+    ) -> None:
+        """Fix the configuration of ``node``: label all of its children.
+
+        When ``required_child`` already carries (or must carry) ``required_label``
+        the chosen configuration is forced to contain that label, and the
+        remaining children receive the other labels of the configuration.
+        """
+        label = labeling[node]
+        children = tree.children[node]
+        if not children:
+            return
+        if required_child is None:
+            config = self.pf_problem.continuation_of(label, self.pf_problem.labels)
+            if config is None:
+                raise SolverError(f"label {label!r} has no continuation below in the certificate")
+            remaining = list(config.children)
+            for child in children:
+                if child in labeling:
+                    # Keep already-assigned labels when they match one of the slots.
+                    if labeling[child] in remaining:
+                        remaining.remove(labeling[child])
+                    continue
+            for child in children:
+                if child not in labeling:
+                    labeling[child] = remaining.pop(0)
+            return
+        # A specific child label is required.
+        candidates = [
+            config
+            for config in self.pf_problem.configurations_of(label)
+            if required_label in config.children
+        ]
+        if not candidates:
+            raise SolverError(
+                f"no configuration of {label!r} contains the required child label {required_label!r}"
+            )
+        config = min(candidates)
+        remaining = list(config.children)
+        remaining.remove(required_label)  # type: ignore[arg-type]
+        labeling[required_child] = required_label  # type: ignore[assignment]
+        for child in children:
+            if child == required_child:
+                continue
+            labeling[child] = remaining.pop(0)
+
+    def _process_leaf_nodes(
+        self,
+        tree: RootedTree,
+        decomposition: RakeCompressDecomposition,
+        layer: int,
+        labeling: Dict[int, Label],
+    ) -> None:
+        for node in sorted(decomposition.leaf_nodes_in_layer(layer)):
+            if node not in labeling:
+                labeling[node] = self._default_label
+            self._assign_configuration(tree, node, labeling)
+
+    def _process_paths(
+        self,
+        tree: RootedTree,
+        decomposition: RakeCompressDecomposition,
+        layer: int,
+        labeling: Dict[int, Label],
+    ) -> None:
+        for path in decomposition.path_components.get(layer, []):
+            self._complete_path(tree, path, labeling)
+
+    def _complete_path(
+        self, tree: RootedTree, path: List[int], labeling: Dict[int, Label]
+    ) -> None:
+        """Complete a compress path ``v_1 (top) ... v_m (bottom)`` and its children."""
+        top = path[0]
+        bottom = path[-1]
+        if top not in labeling:
+            labeling[top] = self._default_label
+        # The bottom node keeps exactly one child that survived to a later
+        # iteration (or was a leaf-type node of the same layer); it is already
+        # labeled and pins the end of the walk.
+        anchored_child: Optional[int] = None
+        for child in tree.children[bottom]:
+            if child in labeling:
+                anchored_child = child
+                break
+        source = labeling[top]
+        if anchored_child is not None:
+            target = labeling[anchored_child]
+            length = len(path)  # edges v_1->v_2, ..., v_m->anchored_child
+            walk = self.automaton.find_walk(source, target, length)
+            if walk is None:
+                raise SolverError(
+                    f"no walk of length {length} from {source!r} to {target!r}; "
+                    "the compress path is shorter than the flexibility threshold"
+                )
+        else:
+            # No anchored child below (can only happen next to the boundary of the
+            # tree); extend by an arbitrary continuation walk.
+            length = len(path) - 1
+            walk = [source]
+            current = source
+            for _ in range(length):
+                config = self.pf_problem.continuation_of(current, self.pf_problem.labels)
+                if config is None:
+                    raise SolverError(f"label {current!r} has no continuation below")
+                current = config.children[0]
+                walk.append(current)
+            walk.append(current)
+
+        # walk[j] is the label of path[j]; the final entry is the anchored child's label.
+        for position, node in enumerate(path):
+            labeling[node] = walk[position]
+        for position, node in enumerate(path):
+            if position + 1 < len(path):
+                required_child = path[position + 1]
+                required_label = walk[position + 1]
+            elif anchored_child is not None:
+                required_child = anchored_child
+                required_label = walk[len(path)]
+            else:
+                required_child = None
+                required_label = None
+            if required_child is None:
+                self._assign_configuration(tree, node, labeling)
+            else:
+                self._assign_configuration(
+                    tree, node, labeling, required_child=required_child, required_label=required_label
+                )

@@ -1,0 +1,114 @@
+"""The 4-round maximal-independent-set algorithm of Section 1.3 (Figure 1).
+
+MIS on rooted binary trees — encoded as the LCL problem (3) with labels
+``{1, a, b}`` — can be solved in a constant number of rounds: every node collects
+the port bits (left = 0, right = 1) of the last four edges on its root-to-leaf
+path and outputs the corresponding symbol of the magic 16-character string (4) of
+the paper::
+
+    b 1 a b  b b 1 b  b 1 1 b  b b 1 b
+
+The key property is that the 4-bit string of a node's parent is the node's own
+string shifted by one position, so the parent/child configurations can be checked
+against the 16 possible cases once and for all; nodes above the root are treated
+as contributing port bit 0, which keeps the same invariant near the root.
+
+The algorithm runs as a genuine message-passing program in the simulator, so the
+reported round count (4 plus one round for learning the ports of the children)
+is measured.  This is the paper's flagship example of a problem that is
+``O(1)``-round solvable but not zero-round solvable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence
+
+from ...core.configuration import Label
+from ...core.problem import LCLProblem
+from ...problems.catalog import maximal_independent_set
+from ...trees.rooted_tree import RootedTree
+from ..network import NodeInfo, StateExchangeAlgorithm, run_algorithm
+from ..rounds import RoundBreakdown
+from .base import Solver, SolverError, SolverResult
+
+#: The 16-symbol output string (4) of the paper, indexed by the 4-bit port string.
+MIS_MAGIC_STRING = "b1abbb1bb11bbb1b"
+
+#: Number of port bits each node collects (string length 4 in the paper).
+MIS_STRING_LENGTH = 4
+
+
+@dataclass(frozen=True)
+class _MISState:
+    round_index: int
+    bits: str  # port bits collected so far (top to bottom)
+
+
+class MISAlgorithm(StateExchangeAlgorithm[_MISState]):
+    """The 4-round MIS node program (binary rooted trees)."""
+
+    def initial_state(self, info: NodeInfo) -> _MISState:
+        return _MISState(round_index=0, bits="")
+
+    def update(
+        self,
+        info: NodeInfo,
+        state: _MISState,
+        parent_state: Optional[_MISState],
+        children_states: Sequence[_MISState],
+    ) -> _MISState:
+        if state.round_index >= MIS_STRING_LENGTH:
+            return replace(state, round_index=state.round_index + 1)
+        # The parent appends my port bit to its own string and sends it to me;
+        # virtual ancestors above the root contribute port bit 0.
+        parent_bits = parent_state.bits if parent_state is not None else "0" * state.round_index
+        my_bit = "0" if info.port == 0 else "1"
+        new_bits = (parent_bits + my_bit)[-MIS_STRING_LENGTH:]
+        if parent_state is None:
+            # The root's own port bit is 0 by convention (it has no parent edge).
+            new_bits = ("0" * (state.round_index + 1))[-MIS_STRING_LENGTH:]
+        return _MISState(round_index=state.round_index + 1, bits=new_bits)
+
+    def output(self, info: NodeInfo, state: _MISState) -> Optional[Label]:
+        if state.round_index < MIS_STRING_LENGTH:
+            return None
+        index = int(state.bits.rjust(MIS_STRING_LENGTH, "0"), 2)
+        return MIS_MAGIC_STRING[index]
+
+
+class MISSolver(Solver):
+    """Constant-round MIS on rooted binary trees (Section 1.3)."""
+
+    name = "mis-4-rounds"
+
+    def __init__(self, problem: Optional[LCLProblem] = None):
+        problem = problem if problem is not None else maximal_independent_set()
+        super().__init__(problem)
+        if problem.delta != 2:
+            raise SolverError("the 4-round MIS algorithm is specific to binary trees")
+        reference = maximal_independent_set()
+        if not reference.configurations <= problem.configurations:
+            raise SolverError("the problem does not contain the MIS configurations of Section 1.3")
+
+    def solve(self, tree: RootedTree, seed: Optional[int] = None) -> SolverResult:
+        self._require_full_tree(tree)
+        identifiers = tree.default_identifiers(seed)
+        result = run_algorithm(
+            MISAlgorithm(), tree, identifiers=identifiers, delta=self.problem.delta
+        )
+        if not result.converged:
+            raise SolverError("the MIS algorithm did not converge")
+        breakdown = RoundBreakdown()
+        breakdown.add("collect the last 4 port bits", result.rounds)
+        return SolverResult(
+            labeling=dict(result.outputs),
+            rounds=breakdown.total,
+            breakdown=breakdown,
+            solver_name=self.name,
+        )
+
+
+def independent_set_from_labeling(labeling: Dict[int, Label]) -> Dict[int, bool]:
+    """Extract the independent-set membership (label ``1``) from an MIS labeling."""
+    return {node: label == "1" for node, label in labeling.items()}

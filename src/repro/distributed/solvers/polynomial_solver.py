@@ -1,0 +1,144 @@
+"""The ``Θ(n^{1/k})`` solver for the problem family ``Π_k`` of Section 8 (Lemma 8.1).
+
+The solver partitions the nodes into ``2k - 1`` classes
+``B_1, X_1, B_2, ..., X_{k-1}, B_k`` such that
+
+* every connected component of ``B_i`` has ``O(n^{1/k})`` nodes (P1),
+* every node of ``X_i`` has a child in a lower class (P2),
+* children of ``B_i`` nodes are in class ``B_i`` or lower (P3);
+
+``X_i`` nodes are labeled ``x_i`` and each component of ``B_i`` is properly
+2-colored with ``{a_i, b_i}``.  The partition is computed in ``k`` sweeps; the
+``i``-th sweep only needs to count subtree sizes up to the threshold
+``n^{1/k}``, which costs ``O(n^{1/k})`` rounds, and the final 2-coloring of a
+component costs rounds proportional to the component's height, which is again
+``O(n^{1/k})``.  The reported round count uses these measured quantities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set
+
+from ...core.configuration import Label
+from ...core.problem import LCLProblem
+from ...problems.catalog import pi_k
+from ...trees.rooted_tree import RootedTree
+from ..rounds import RoundBreakdown
+from .base import Solver, SolverError, SolverResult
+
+
+class PolynomialSolver(Solver):
+    """Solver for ``Π_k`` realizing the ``Θ(n^{1/k})`` upper bound (Lemma 8.1)."""
+
+    name = "pi-k-partition"
+
+    def __init__(self, k: int, problem: Optional[LCLProblem] = None):
+        if k < 1:
+            raise SolverError("k must be at least 1")
+        problem = problem if problem is not None else pi_k(k)
+        super().__init__(problem)
+        self.k = k
+        expected = pi_k(k)
+        if not expected.configurations <= problem.configurations:
+            raise SolverError("the problem does not contain the configurations of Pi_k")
+
+    # ------------------------------------------------------------------
+    def solve(self, tree: RootedTree, seed: Optional[int] = None) -> SolverResult:
+        n = tree.num_nodes
+        threshold = max(1, math.ceil(n ** (1.0 / self.k)))
+        remaining: Set[int] = set(tree.nodes())
+        class_of: Dict[int, str] = {}
+        breakdown = RoundBreakdown()
+        max_component_height = 0
+
+        for index in range(1, self.k + 1):
+            if not remaining:
+                break
+            subtree_size = self._subtree_sizes_within(tree, remaining)
+            if index == self.k:
+                b_nodes = set(remaining)
+                x_nodes: Set[int] = set()
+            else:
+                b_nodes = {node for node in remaining if subtree_size[node] <= threshold}
+                x_nodes = set()
+                for node in remaining:
+                    if subtree_size[node] <= threshold:
+                        continue
+                    children_in = [
+                        child for child in tree.children[node] if child in remaining
+                    ]
+                    has_small_child = any(
+                        subtree_size[child] <= threshold for child in children_in
+                    )
+                    if has_small_child or len(children_in) <= 1:
+                        x_nodes.add(node)
+            for node in b_nodes:
+                class_of[node] = f"B{index}"
+            for node in x_nodes:
+                class_of[node] = f"X{index}"
+            remaining -= b_nodes | x_nodes
+            breakdown.add(f"sweep {index}: count subtree sizes up to n^(1/k)", threshold + 1)
+            component_height = self._max_component_height(tree, b_nodes)
+            max_component_height = max(max_component_height, component_height)
+
+        if remaining:
+            raise SolverError("the partition did not cover all nodes; instance too irregular")
+
+        labeling = self._label_from_partition(tree, class_of)
+        breakdown.add("2-color the B components", max_component_height + 1)
+        return SolverResult(
+            labeling=labeling,
+            rounds=breakdown.total,
+            breakdown=breakdown,
+            solver_name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    def _subtree_sizes_within(self, tree: RootedTree, remaining: Set[int]) -> Dict[int, int]:
+        """Subtree sizes in the forest induced by ``remaining``.
+
+        The bottom-up order guarantees that every node is processed after all of
+        its children, so a single accumulation pass suffices.
+        """
+        sizes: Dict[int, int] = {node: 1 for node in remaining}
+        for node in tree.topological_bottom_up():
+            if node not in remaining:
+                continue
+            parent = tree.parent[node]
+            if parent is not None and parent in remaining:
+                sizes[parent] += sizes[node]
+        return sizes
+
+    def _max_component_height(self, tree: RootedTree, nodes: Set[int]) -> int:
+        """The maximum height of a connected component of ``nodes``."""
+        height: Dict[int, int] = {node: 0 for node in nodes}
+        best = 0
+        for node in tree.topological_bottom_up():
+            if node not in nodes:
+                continue
+            parent = tree.parent[node]
+            if parent is not None and parent in nodes:
+                height[parent] = max(height[parent], height[node] + 1)
+            best = max(best, height[node])
+        return best
+
+    def _label_from_partition(
+        self, tree: RootedTree, class_of: Dict[int, str]
+    ) -> Dict[int, Label]:
+        """Assign ``x_i`` to ``X_i`` nodes and 2-color the components of each ``B_i``."""
+        labeling: Dict[int, Label] = {}
+        parity: Dict[int, int] = {}
+        for node in tree.bfs_order():
+            cls = class_of[node]
+            index = int(cls[1:])
+            if cls.startswith("X"):
+                labeling[node] = f"x{index}"
+                continue
+            parent = tree.parent[node]
+            if parent is not None and class_of.get(parent) == cls:
+                parity[node] = 1 - parity[parent]
+            else:
+                parity[node] = 0
+            labeling[node] = f"a{index}" if parity[node] == 0 else f"b{index}"
+        return labeling

@@ -1,0 +1,45 @@
+"""Problem catalog and random problem generators."""
+
+from .catalog import (
+    branch_two_coloring,
+    catalog,
+    coloring,
+    figure2_combined_problem,
+    hierarchical_two_and_half_coloring,
+    maximal_independent_set,
+    pi_k,
+    sample_problems,
+    three_coloring,
+    trivial_problem,
+    two_coloring,
+    unconstrained_problem,
+    unsolvable_problem,
+)
+from .random_problems import (
+    all_possible_configurations,
+    all_problems_with,
+    num_possible_configurations,
+    random_problem,
+    random_problem_stream,
+)
+
+__all__ = [
+    "all_possible_configurations",
+    "all_problems_with",
+    "branch_two_coloring",
+    "catalog",
+    "coloring",
+    "figure2_combined_problem",
+    "hierarchical_two_and_half_coloring",
+    "maximal_independent_set",
+    "num_possible_configurations",
+    "pi_k",
+    "random_problem",
+    "random_problem_stream",
+    "sample_problems",
+    "three_coloring",
+    "trivial_problem",
+    "two_coloring",
+    "unconstrained_problem",
+    "unsolvable_problem",
+]

@@ -1,0 +1,187 @@
+"""Lower-bound tree constructions of Section 5.4.
+
+The ``Ω(n^{1/k})`` lower bound (Theorem 5.2) is proved on a family of *bipolar
+trees* built recursively with the ``⊕_x`` operation:
+
+* ``T^x_0`` is a single node,
+* ``T^x_i = ⊕_x T^x_{i-1}``: an ``x``-node core path whose every node receives
+  ``δ - 1`` copies of ``T^x_{i-1}`` as additional children; the core path nodes
+  form layer ``i``.
+
+``T^x_{i←j}`` concatenates ``T^x_i`` and ``T^x_j`` through a *middle edge*.  The
+total size of ``T^x_k`` is ``Θ(x^k)``, so distinguishing the two endpoints of a
+layer-``k`` path requires ``Ω(n^{1/k})`` rounds.
+
+These constructions are exercised by the benchmarks (size/diameter scaling) and
+used as hard instances for the polynomial-class solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .rooted_tree import RootedTree, TreeBuilder, TreeError
+
+
+@dataclass(frozen=True)
+class BipolarTree:
+    """A bipolar tree: a rooted tree with two distinguished poles ``s`` (the root) and ``t``.
+
+    Attributes
+    ----------
+    tree:
+        The underlying rooted tree (rooted at ``s``).
+    source:
+        The pole ``s`` (always the root).
+    sink:
+        The pole ``t`` (the far end of the core path).
+    layer:
+        The layer number of every node (layer 0 = the leaves of the recursion).
+    """
+
+    tree: RootedTree
+    source: int
+    sink: int
+    layer: Tuple[int, ...]
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes of the underlying tree."""
+        return self.tree.num_nodes
+
+    def core_path(self) -> List[int]:
+        """The nodes of the core path from ``s`` to ``t``."""
+        path = [self.sink]
+        while path[-1] != self.source:
+            parent = self.tree.parent[path[-1]]
+            if parent is None:
+                raise TreeError("sink is not a descendant of the source")
+            path.append(parent)
+        path.reverse()
+        return path
+
+    def nodes_in_layer(self, layer: int) -> List[int]:
+        """All nodes of the given layer."""
+        return [node for node in self.tree.nodes() if self.layer[node] == layer]
+
+
+def _attach_copy(
+    builder: TreeBuilder,
+    layers: List[int],
+    parent: int,
+    template: BipolarTree,
+) -> None:
+    """Attach a copy of ``template`` as a child of ``parent`` inside ``builder``."""
+    mapping: Dict[int, int] = {}
+    order = template.tree.bfs_order()
+    for node in order:
+        template_parent = template.tree.parent[node]
+        if template_parent is None:
+            new_node = builder.add_child(parent)
+        else:
+            new_node = builder.add_child(mapping[template_parent])
+        mapping[node] = new_node
+        while len(layers) <= new_node:
+            layers.append(0)
+        layers[new_node] = template.layer[node]
+
+
+def bipolar_base() -> BipolarTree:
+    """``T^x_0``: a single layer-0 node."""
+    builder = TreeBuilder()
+    root = builder.add_root()
+    tree = builder.build(metadata={"kind": "T^x_0"})
+    return BipolarTree(tree=tree, source=root, sink=root, layer=(0,))
+
+
+def extend_bipolar(template: BipolarTree, x: int, delta: int, layer: int) -> BipolarTree:
+    """The ``⊕_x`` operation applied to ``template`` (core path of ``x`` nodes, layer ``layer``)."""
+    if x < 1:
+        raise TreeError("the core path must contain at least one node")
+    if delta < 1:
+        raise TreeError("delta must be at least 1")
+    builder = TreeBuilder()
+    layers: List[int] = []
+    core: List[int] = []
+    previous: Optional[int] = None
+    for _ in range(x):
+        node = builder.add_root() if previous is None else builder.add_child(previous)
+        while len(layers) <= node:
+            layers.append(0)
+        layers[node] = layer
+        core.append(node)
+        previous = node
+    for node in core:
+        for _ in range(delta - 1):
+            _attach_copy(builder, layers, node, template)
+    tree = builder.build(metadata={"kind": f"bipolar layer {layer}", "x": x, "delta": delta})
+    return BipolarTree(tree=tree, source=core[0], sink=core[-1], layer=tuple(layers))
+
+
+def lower_bound_tree(x: int, k: int, delta: int = 2) -> BipolarTree:
+    """The bipolar tree ``T^x_k`` of Section 5.4 (layers 0..k)."""
+    if k < 0:
+        raise TreeError("k must be non-negative")
+    current = bipolar_base()
+    for layer in range(1, k + 1):
+        current = extend_bipolar(current, x, delta, layer)
+    return current
+
+
+def concatenated_lower_bound_tree(x: int, i: int, j: int, delta: int = 2) -> BipolarTree:
+    """The concatenated bipolar tree ``T^x_{i←j}`` with its middle edge.
+
+    The tree ``T^x_j`` is hung below the sink of ``T^x_i``; the middle edge is the
+    edge between the sink of the first part and the source of the second part.
+    The poles of the result are the source of the first part and the sink of the
+    second part.  The middle-edge endpoints are recorded in the tree metadata.
+    """
+    first = lower_bound_tree(x, i, delta)
+    second = lower_bound_tree(x, j, delta)
+    builder = TreeBuilder()
+    layers: List[int] = []
+
+    mapping_first: Dict[int, int] = {}
+    for node in first.tree.bfs_order():
+        parent = first.tree.parent[node]
+        new_node = builder.add_root() if parent is None else builder.add_child(mapping_first[parent])
+        mapping_first[node] = new_node
+        while len(layers) <= new_node:
+            layers.append(0)
+        layers[new_node] = first.layer[node]
+
+    mapping_second: Dict[int, int] = {}
+    for node in second.tree.bfs_order():
+        parent = second.tree.parent[node]
+        if parent is None:
+            new_node = builder.add_child(mapping_first[first.sink])
+        else:
+            new_node = builder.add_child(mapping_second[parent])
+        mapping_second[node] = new_node
+        while len(layers) <= new_node:
+            layers.append(0)
+        layers[new_node] = second.layer[node]
+
+    tree = builder.build(
+        metadata={
+            "kind": f"T^{x}_{i}<-{j}",
+            "middle_edge": (mapping_first[first.sink], mapping_second[second.source]),
+            "x": x,
+            "delta": delta,
+        }
+    )
+    return BipolarTree(
+        tree=tree,
+        source=mapping_first[first.source],
+        sink=mapping_second[second.sink],
+        layer=tuple(layers),
+    )
+
+
+def lower_bound_tree_size(x: int, k: int, delta: int = 2) -> int:
+    """Closed-form node count of ``T^x_k`` (used to check the ``Θ(x^k)`` growth)."""
+    size = 1
+    for _ in range(k):
+        size = x + x * (delta - 1) * size
+    return size

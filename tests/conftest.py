@@ -1,0 +1,14 @@
+"""Test configuration.
+
+Makes the package importable even when it has not been installed (e.g. when the
+editable install is not possible in an offline environment): the ``src`` layout
+directory is appended to ``sys.path`` as a fallback.
+"""
+
+import sys
+from pathlib import Path
+
+try:  # pragma: no cover - exercised implicitly
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover - offline fallback
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))

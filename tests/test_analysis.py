@@ -1,0 +1,44 @@
+"""Tests for the experiment harness."""
+
+from repro.analysis import (
+    classification_timing,
+    format_table,
+    landscape_census,
+    scaling_experiment,
+)
+from repro.core import ComplexityClass
+from repro.distributed import MISSolver
+from repro.problems import maximal_independent_set, three_coloring
+from repro.trees import complete_tree
+
+
+def test_scaling_experiment_rows():
+    problem = maximal_independent_set()
+    rows = scaling_experiment(
+        problem, MISSolver(problem), [complete_tree(2, 4), complete_tree(2, 6)]
+    )
+    assert [row.num_nodes for row in rows] == [31, 127]
+    assert all(row.valid for row in rows)
+    assert all(row.rounds == 4 for row in rows)
+    assert rows[0].as_tuple() == (31, 4, True)
+
+
+def test_classification_timing():
+    rows = classification_timing([three_coloring(), maximal_independent_set()])
+    assert len(rows) == 2
+    assert rows[0][1] is ComplexityClass.LOGSTAR
+    assert all(elapsed >= 0.0 for _n, _c, elapsed in rows)
+
+
+def test_landscape_census_counts():
+    counts = landscape_census(2, density=0.5, count=20)
+    assert sum(counts.values()) == 20
+    assert all(isinstance(key, ComplexityClass) for key in counts)
+
+
+def test_format_table_alignment():
+    table = format_table(["a", "bb"], [[1, 22], [333, 4]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    assert "333" in lines[3]

@@ -1,0 +1,31 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_classify_file(tmp_path, capsys):
+    problem_file = tmp_path / "two_coloring.txt"
+    problem_file.write_text("# proper 2-coloring\n1 : 2 2\n2 : 1 1\n")
+    assert main(["classify", str(problem_file)]) == 0
+    output = capsys.readouterr().out
+    assert "n^Theta(1)" in output
+    assert "Theta(n)" in output
+
+
+def test_classify_catalog(capsys):
+    assert main(["classify", "--catalog"]) == 0
+    output = capsys.readouterr().out
+    assert "UNEXPECTED" not in output
+    assert "mis" in output
+
+
+def test_classify_without_argument_fails(capsys):
+    assert main(["classify"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,77 @@
+"""Unit tests for configurations (Definition 4.1)."""
+
+import pytest
+
+from repro.core.configuration import Configuration, configuration, configurations_from_pairs
+
+
+class TestCanonicalization:
+    def test_children_are_sorted(self):
+        assert Configuration("1", ("3", "2")).children == ("2", "3")
+
+    def test_order_of_children_is_irrelevant(self):
+        assert Configuration("1", ("2", "3")) == Configuration("1", ("3", "2"))
+
+    def test_hashing_respects_equality(self):
+        assert len({Configuration("1", ("2", "3")), Configuration("1", ("3", "2"))}) == 1
+
+    def test_different_parent_is_different_configuration(self):
+        assert Configuration("1", ("2", "3")) != Configuration("2", ("2", "3"))
+
+    def test_multiset_semantics(self):
+        config = Configuration("a", ("b", "b", "c"))
+        assert config.child_multiset() == {"b": 2, "c": 1}
+
+
+class TestProperties:
+    def test_delta(self):
+        assert configuration("1", "2", "3", "4").delta == 3
+
+    def test_labels(self):
+        assert configuration("1", "2", "2").labels == frozenset({"1", "2"})
+
+    def test_uses_only(self):
+        config = configuration("1", "2", "2")
+        assert config.uses_only({"1", "2", "3"})
+        assert not config.uses_only({"1"})
+
+    def test_is_special_true(self):
+        assert configuration("b", "b", "1").is_special()
+
+    def test_is_special_false(self):
+        assert not configuration("1", "2", "3").is_special()
+
+    def test_contains_child(self):
+        config = configuration("1", "2", "3")
+        assert config.contains_child("2")
+        assert not config.contains_child("1")
+
+    def test_matches_children(self):
+        config = configuration("1", "2", "3")
+        assert config.matches_children(["3", "2"])
+        assert not config.matches_children(["2", "2"])
+
+    def test_child_orderings_distinct(self):
+        config = configuration("1", "2", "2")
+        assert list(config.child_orderings()) == [("2", "2")]
+        config2 = configuration("1", "2", "3")
+        assert sorted(config2.child_orderings()) == [("2", "3"), ("3", "2")]
+
+    def test_replace_one_child(self):
+        config = configuration("1", "2", "2")
+        assert config.replace_one_child("2", "3") == configuration("1", "2", "3")
+
+    def test_replace_one_child_missing_raises(self):
+        with pytest.raises(ValueError):
+            configuration("1", "2", "2").replace_one_child("9", "3")
+
+    def test_to_text(self):
+        assert configuration("1", "3", "2").to_text() == "1 : 2 3"
+
+
+class TestBulkConstruction:
+    def test_configurations_from_pairs(self):
+        configs = configurations_from_pairs([("1", ("2", "2")), ("2", ("1", "1"))])
+        assert configuration("1", "2", "2") in configs
+        assert configuration("2", "1", "1") in configs
+        assert len(configs) == 2

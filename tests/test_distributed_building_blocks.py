@@ -1,0 +1,176 @@
+"""Tests for the simulator, the distributed coloring and the rake-and-compress decomposition."""
+
+import pytest
+
+from repro.distributed import (
+    RoundBreakdown,
+    Simulator,
+    cole_vishkin_iterations,
+    cole_vishkin_step,
+    log_star,
+    message_size_bits,
+    rake_compress_decomposition,
+    three_color_tree,
+    verify_proper_coloring,
+)
+from repro.distributed.network import NodeInfo, StateExchangeAlgorithm
+from repro.trees import complete_tree, hairy_path, random_full_tree
+
+
+class TestRounds:
+    def test_log_star_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+        assert log_star(2 ** 65536 if False else 10 ** 9) == 5
+
+    def test_breakdown_totals(self):
+        breakdown = RoundBreakdown()
+        breakdown.add("a", 3)
+        breakdown.add("b", 4)
+        breakdown.add("a", 1)
+        assert breakdown.total == 8
+        assert breakdown.as_dict() == {"a": 4, "b": 4}
+        assert "total: 8" in breakdown.describe()
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            RoundBreakdown().add("a", -1)
+
+    def test_message_size_bits(self):
+        assert message_size_bits(None) == 0
+        assert message_size_bits(True) == 1
+        assert message_size_bits(7) == 3
+        assert message_size_bits("ab") == 16
+        assert message_size_bits((1, 2)) > 0
+
+
+class _CountDownAlgorithm(StateExchangeAlgorithm):
+    """A toy algorithm: every node outputs after a fixed number of rounds."""
+
+    def __init__(self, rounds):
+        self.rounds = rounds
+
+    def initial_state(self, info):
+        return 0
+
+    def update(self, info, state, parent_state, children_states):
+        return state + 1
+
+    def output(self, info, state):
+        return "done" if state >= self.rounds else None
+
+
+class TestSimulator:
+    def test_round_counting(self):
+        tree = complete_tree(2, 3)
+        result = Simulator(tree).run(_CountDownAlgorithm(5))
+        assert result.rounds == 5
+        assert result.converged
+        assert all(value == "done" for value in result.outputs.values())
+
+    def test_zero_round_algorithm(self):
+        tree = complete_tree(2, 2)
+        result = Simulator(tree).run(_CountDownAlgorithm(0))
+        assert result.rounds == 0
+
+    def test_non_convergence_reported(self):
+        tree = complete_tree(2, 2)
+        result = Simulator(tree).run(_CountDownAlgorithm(10 ** 9), max_rounds=5)
+        assert not result.converged
+
+    def test_duplicate_identifiers_rejected(self):
+        tree = complete_tree(2, 2)
+        with pytest.raises(ValueError):
+            Simulator(tree, identifiers=[1] * tree.num_nodes)
+
+    def test_node_info_exposed(self):
+        tree = complete_tree(2, 2)
+        simulator = Simulator(tree)
+        info = simulator.infos[tree.root]
+        assert info.is_root
+        assert info.num_children == 2
+        assert info.n == tree.num_nodes
+
+
+class TestColeVishkin:
+    def test_step_reduces_and_preserves_difference(self):
+        color, parent = 0b101101, 0b100101
+        new = cole_vishkin_step(color, parent)
+        assert new != cole_vishkin_step(parent, 0b111111)
+        assert new < 2 * 6
+
+    def test_step_requires_difference(self):
+        with pytest.raises(ValueError):
+            cole_vishkin_step(5, 5)
+
+    def test_iteration_bound_is_small(self):
+        assert cole_vishkin_iterations(10 ** 6) <= 8
+
+    @pytest.mark.parametrize(
+        "tree",
+        [complete_tree(2, 6), random_full_tree(2, 200, seed=1), hairy_path(2, 150), complete_tree(3, 4)],
+        ids=["complete", "random", "hairy", "ternary"],
+    )
+    def test_three_coloring_is_proper(self, tree):
+        colors, rounds = three_color_tree(tree, tree.default_identifiers(seed=11))
+        assert verify_proper_coloring(tree, colors)
+        assert set(colors.values()) <= {0, 1, 2}
+        assert rounds <= 20
+
+    def test_round_count_grows_slowly(self):
+        small = three_color_tree(complete_tree(2, 4))[1]
+        large = three_color_tree(complete_tree(2, 10))[1]
+        assert large <= small + 3
+
+
+class TestRakeCompress:
+    def test_layers_cover_all_nodes(self):
+        tree = random_full_tree(2, 300, seed=3)
+        decomposition = rake_compress_decomposition(tree, 4)
+        assert set(decomposition.layer.keys()) == set(tree.nodes())
+
+    def test_number_of_layers_is_logarithmic(self):
+        tree = complete_tree(2, 10)  # 2047 nodes
+        decomposition = rake_compress_decomposition(tree, 4)
+        assert decomposition.num_layers <= 24
+
+    def test_number_of_layers_grows_with_n(self):
+        small = rake_compress_decomposition(complete_tree(2, 5), 4).num_layers
+        large = rake_compress_decomposition(complete_tree(2, 11), 4).num_layers
+        assert large > small
+
+    def test_hairy_path_has_few_layers(self):
+        tree = hairy_path(2, 500)
+        decomposition = rake_compress_decomposition(tree, 4)
+        assert decomposition.num_layers <= 4
+
+    def test_path_components_have_minimum_length(self):
+        tree = hairy_path(2, 100)
+        decomposition = rake_compress_decomposition(tree, 7)
+        for paths in decomposition.path_components.values():
+            for path in paths:
+                assert len(path) >= 7
+
+    def test_path_components_are_vertical_paths(self):
+        tree = random_full_tree(2, 400, seed=9)
+        decomposition = rake_compress_decomposition(tree, 5)
+        for paths in decomposition.path_components.values():
+            for path in paths:
+                for upper, lower in zip(path, path[1:]):
+                    assert tree.parent[lower] == upper
+
+    def test_kinds_are_consistent(self):
+        tree = random_full_tree(2, 200, seed=4)
+        decomposition = rake_compress_decomposition(tree, 4)
+        assert set(decomposition.kind.values()) <= {"leaf", "path"}
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            rake_compress_decomposition(complete_tree(2, 3), 0)
+
+    def test_rounds_accounted(self):
+        decomposition = rake_compress_decomposition(complete_tree(2, 8), 3)
+        assert decomposition.rounds == decomposition.num_layers * 4

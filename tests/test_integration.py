@@ -1,0 +1,100 @@
+"""End-to-end integration tests: classify a problem, then solve it with the matching solver.
+
+These tests exercise the full pipeline the paper describes: the classifier
+produces a certificate, the certificate drives a distributed algorithm, and the
+resulting labeling is verified against the original problem definition.
+"""
+
+import pytest
+
+from repro.core import ComplexityClass, classify_with_certificates
+from repro.distributed import ColoringSolver, GlobalSolver, LogSolver, MISSolver, PolynomialSolver
+from repro.labeling import is_valid_labeling, verify_labeling
+from repro.problems import catalog, maximal_independent_set, pi_k, three_coloring
+from repro.trees import complete_tree, hairy_path, random_full_tree
+
+
+class TestCertificateDrivenPipeline:
+    def test_log_certificate_drives_log_solver(self):
+        """Any problem whose classifier outcome is at most Θ(log n) is solvable by LogSolver."""
+        tree = random_full_tree(2, 300, seed=21)
+        for name, (problem, expected) in catalog().items():
+            artifacts = classify_with_certificates(problem)
+            if artifacts.log_certificate is None or problem.delta != 2:
+                continue
+            solver = LogSolver(problem, certificate=artifacts.log_certificate)
+            result = solver.solve(tree)
+            assert is_valid_labeling(problem, tree, result.labeling), name
+
+    def test_log_solver_labels_stay_within_certificate(self):
+        artifacts = classify_with_certificates(three_coloring())
+        solver = LogSolver(three_coloring(), certificate=artifacts.log_certificate)
+        tree = complete_tree(2, 7)
+        result = solver.solve(tree)
+        used = set(result.labeling.values())
+        assert used <= set(artifacts.log_certificate.labels)
+
+    def test_constant_certificate_exists_exactly_for_constant_problems(self):
+        for name, (problem, expected) in catalog().items():
+            artifacts = classify_with_certificates(problem)
+            if expected is ComplexityClass.CONSTANT:
+                assert artifacts.constant_certificate is not None, name
+                assert artifacts.constant_certificate.validate() == [], name
+            else:
+                assert artifacts.constant_certificate is None, name
+
+    def test_logstar_certificate_leaf_labels_subset_of_certificate_labels(self):
+        for name, (problem, expected) in catalog().items():
+            artifacts = classify_with_certificates(problem)
+            certificate = artifacts.logstar_certificate
+            if certificate is None:
+                continue
+            assert set(certificate.leaf_labels()) <= set(certificate.labels), name
+
+
+class TestClassToSolverMapping:
+    def test_full_pipeline_per_class(self):
+        tree = random_full_tree(2, 200, seed=5)
+        cases = [
+            (maximal_independent_set(), MISSolver(maximal_independent_set())),
+            (three_coloring(), ColoringSolver(three_coloring())),
+            (pi_k(2), PolynomialSolver(2)),
+        ]
+        for problem, solver in cases:
+            result = solver.solve(tree)
+            report = verify_labeling(problem, tree, result.labeling)
+            assert report.valid, (problem.name, report.violations[:2])
+
+    def test_global_solver_handles_every_solvable_catalog_problem(self):
+        tree = complete_tree(2, 5)
+        for name, (problem, expected) in catalog().items():
+            if expected is ComplexityClass.UNSOLVABLE or problem.delta != 2:
+                continue
+            result = GlobalSolver(problem).solve(tree)
+            assert is_valid_labeling(problem, tree, result.labeling), name
+
+
+class TestRoundComplexityShapes:
+    """The empirical shape of the rounds-vs-n curves matches the paper's classes."""
+
+    def test_constant_vs_logstar_vs_log_vs_polynomial(self):
+        sizes = [complete_tree(2, depth) for depth in (6, 9, 12)]
+        mis_rounds = [MISSolver(maximal_independent_set()).solve(t).rounds for t in sizes]
+        coloring_rounds = [ColoringSolver(three_coloring()).solve(t).rounds for t in sizes]
+        log_rounds = [LogSolver(three_coloring()).solve(t).rounds for t in sizes]
+        poly_rounds = [PolynomialSolver(1).solve(t).rounds for t in sizes]
+
+        # O(1): flat.
+        assert len(set(mis_rounds)) == 1
+        # Θ(log* n): grows by at most a couple of rounds.
+        assert coloring_rounds[-1] - coloring_rounds[0] <= 3
+        # Θ(log n): grows, but only linearly in the depth.
+        assert log_rounds[0] < log_rounds[-1] <= log_rounds[0] * 4
+        # Θ(n): grows roughly like the instance size.
+        assert poly_rounds[-1] > poly_rounds[0] * 8
+
+    def test_global_problem_is_cheap_on_balanced_but_expensive_on_hairy_instances(self):
+        solver = GlobalSolver(pi_k(1))
+        balanced = solver.solve(complete_tree(2, 9)).rounds
+        hairy = solver.solve(hairy_path(2, 511)).rounds
+        assert hairy > 10 * balanced

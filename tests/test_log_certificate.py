@@ -1,0 +1,107 @@
+"""Tests for Algorithms 1 and 2 (Section 5): certificates for O(log n) solvability."""
+
+import pytest
+
+from repro.core import (
+    LogCertificate,
+    LogCertificateAbsence,
+    find_log_certificate,
+    has_log_certificate,
+    remove_path_inflexible_configurations,
+)
+from repro.core.log_certificate import pruning_sequence
+from repro.problems import (
+    branch_two_coloring,
+    figure2_combined_problem,
+    maximal_independent_set,
+    pi_k,
+    three_coloring,
+    two_coloring,
+    unsolvable_problem,
+)
+
+
+class TestAlgorithm1:
+    def test_three_coloring_unchanged(self):
+        problem = three_coloring()
+        assert remove_path_inflexible_configurations(problem).labels == problem.labels
+
+    def test_two_coloring_emptied(self):
+        pruned = remove_path_inflexible_configurations(two_coloring())
+        assert pruned.is_empty()
+
+    def test_figure2_removes_a_and_b(self):
+        pruned = remove_path_inflexible_configurations(figure2_combined_problem())
+        assert pruned.labels == frozenset({"1", "2"})
+
+
+class TestAlgorithm2:
+    def test_branch_two_coloring_has_certificate(self):
+        outcome = find_log_certificate(branch_two_coloring())
+        assert isinstance(outcome, LogCertificate)
+        assert outcome.labels == frozenset({"1", "2"})
+        assert outcome.validate() == []
+
+    def test_figure2_certificate_matches_paper(self):
+        # Figure 2: the certificate problem Π_pf uses only the labels {1, 2}.
+        outcome = find_log_certificate(figure2_combined_problem())
+        assert isinstance(outcome, LogCertificate)
+        assert outcome.labels == frozenset({"1", "2"})
+        assert outcome.pruning_sets == (frozenset({"a", "b"}),)
+        assert outcome.iterations == 1
+
+    def test_two_coloring_has_no_certificate(self):
+        outcome = find_log_certificate(two_coloring())
+        assert isinstance(outcome, LogCertificateAbsence)
+        assert outcome.iterations == 1
+        assert outcome.lower_bound_exponent == 1
+
+    def test_pi_k_prunes_in_exactly_k_iterations(self):
+        # Lemma 8.2: Algorithm 2 takes exactly k iterations on Π_k.
+        for k in (1, 2, 3):
+            outcome = find_log_certificate(pi_k(k))
+            assert isinstance(outcome, LogCertificateAbsence)
+            assert outcome.iterations == k
+            assert outcome.lower_bound_exponent == k
+
+    def test_pi_k_pruning_sets_structure(self):
+        outcome = find_log_certificate(pi_k(2))
+        assert outcome.pruning_sets[0] == frozenset({"a1", "b1"})
+        assert outcome.pruning_sets[1] == frozenset({"x1", "a2", "b2"})
+
+    def test_mis_and_coloring_have_certificates(self):
+        assert has_log_certificate(maximal_independent_set())
+        assert has_log_certificate(three_coloring())
+        assert not has_log_certificate(two_coloring())
+
+    def test_certificate_configurations_subset_of_problem(self):
+        outcome = find_log_certificate(maximal_independent_set())
+        assert isinstance(outcome, LogCertificate)
+        assert outcome.certificate_problem.configurations <= maximal_independent_set().configurations
+
+    def test_rake_compress_parameter_positive(self):
+        outcome = find_log_certificate(branch_two_coloring())
+        assert outcome.rake_compress_parameter() >= 2
+
+    def test_unsolvable_problem_has_no_certificate(self):
+        outcome = find_log_certificate(unsolvable_problem())
+        assert isinstance(outcome, LogCertificateAbsence)
+
+
+class TestPruningSequence:
+    def test_sequence_is_decreasing(self):
+        problems, removed = pruning_sequence(pi_k(3))
+        sizes = [p.num_labels for p in problems]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sum(len(s) for s in removed) == pi_k(3).num_labels
+
+    def test_removed_sets_partition_alphabet_when_emptied(self):
+        problems, removed = pruning_sequence(two_coloring())
+        assert problems[-1].is_empty()
+        union = frozenset().union(*removed)
+        assert union == two_coloring().labels
+
+    def test_fixed_point_reached(self):
+        problems, _ = pruning_sequence(maximal_independent_set())
+        fixed = problems[-1]
+        assert remove_path_inflexible_configurations(fixed).labels == fixed.labels

@@ -1,0 +1,142 @@
+"""Tests for Algorithms 3–5 (Sections 6 and 7): uniform and constant certificates."""
+
+import pytest
+
+from repro.core import (
+    build_constant_certificate,
+    build_uniform_certificate,
+    find_certificate_builder,
+    find_constant_certificate_builder,
+    find_unrestricted_certificate,
+    has_constant_certificate,
+    has_logstar_certificate,
+)
+from repro.core.certificates import CertificateError
+from repro.core.logstar_certificate import assign_children_to_sets, candidate_label_subsets
+from repro.core.configuration import Configuration
+from repro.problems import (
+    branch_two_coloring,
+    figure2_combined_problem,
+    maximal_independent_set,
+    three_coloring,
+    trivial_problem,
+    two_coloring,
+    unconstrained_problem,
+)
+
+
+class TestChildAssignment:
+    def test_assignment_found(self):
+        config = Configuration("1", ("2", "3"))
+        sets = [frozenset({"3"}), frozenset({"2", "9"})]
+        assert assign_children_to_sets(config, sets) == ("3", "2")
+
+    def test_assignment_respects_multiplicity(self):
+        config = Configuration("1", ("2", "2"))
+        sets = [frozenset({"2"}), frozenset({"3"})]
+        assert assign_children_to_sets(config, sets) is None
+
+    def test_assignment_impossible(self):
+        config = Configuration("1", ("2", "3"))
+        sets = [frozenset({"2"}), frozenset({"2"})]
+        assert assign_children_to_sets(config, sets) is None
+
+
+class TestAlgorithm3:
+    def test_three_coloring_full_alphabet_builder(self):
+        builder = find_unrestricted_certificate(three_coloring())
+        assert builder is not None
+        assert builder.label_set == frozenset({"1", "2", "3"})
+
+    def test_branch_two_coloring_has_no_builder(self):
+        assert find_unrestricted_certificate(branch_two_coloring()) is None
+
+    def test_two_coloring_has_no_builder(self):
+        assert find_unrestricted_certificate(two_coloring()) is None
+
+    def test_mis_builder_with_special_leaf(self):
+        builder = find_unrestricted_certificate(maximal_independent_set(), special_label="b")
+        assert builder is not None
+        assert builder.special_label == "b"
+
+
+class TestAlgorithm4And5:
+    def test_logstar_certificates_exist(self):
+        assert has_logstar_certificate(three_coloring())
+        assert has_logstar_certificate(maximal_independent_set())
+        assert has_logstar_certificate(unconstrained_problem())
+
+    def test_logstar_certificates_absent(self):
+        assert not has_logstar_certificate(branch_two_coloring())
+        assert not has_logstar_certificate(two_coloring())
+        assert not has_logstar_certificate(figure2_combined_problem())
+
+    def test_constant_certificates(self):
+        assert has_constant_certificate(maximal_independent_set())
+        assert has_constant_certificate(trivial_problem())
+        assert not has_constant_certificate(three_coloring())
+        assert not has_constant_certificate(branch_two_coloring())
+
+    def test_candidate_subsets_are_within_fixed_point(self):
+        problem = maximal_independent_set()
+        fixed_point = problem.infinite_continuation_labels()
+        for subset in candidate_label_subsets(problem):
+            assert subset <= fixed_point
+
+
+class TestUniformCertificateConstruction:
+    def test_three_coloring_certificate_valid(self):
+        builder = find_certificate_builder(three_coloring())
+        certificate = build_uniform_certificate(builder)
+        assert certificate.validate() == []
+        assert certificate.depth >= 1
+        # One tree per certificate label, each rooted at that label (Definition 6.1).
+        assert set(certificate.trees.keys()) == set(certificate.labels)
+        for label, tree in certificate.trees.items():
+            assert tree.label == label
+
+    def test_three_coloring_certificate_leaf_layers_identical(self):
+        builder = find_certificate_builder(three_coloring())
+        certificate = build_uniform_certificate(builder)
+        leaves = {tree.leaf_labels() for tree in certificate.trees.values()}
+        assert len(leaves) == 1
+
+    def test_coprime_certificate_derived_from_uniform(self):
+        builder = find_certificate_builder(three_coloring())
+        certificate = build_uniform_certificate(builder)
+        coprime = certificate.to_coprime()
+        assert coprime.validate() == []
+        assert coprime.depth_pair == (certificate.depth, certificate.depth + 1)
+
+    def test_trivial_problem_certificate(self):
+        builder = find_certificate_builder(trivial_problem())
+        certificate = build_uniform_certificate(builder)
+        assert certificate.validate() == []
+        assert certificate.depth == 1
+
+    def test_unconstrained_problem_certificate(self):
+        builder = find_certificate_builder(unconstrained_problem(3))
+        certificate = build_uniform_certificate(builder)
+        assert certificate.validate() == []
+
+
+class TestConstantCertificateConstruction:
+    def test_mis_constant_certificate_matches_figure_8(self):
+        outcome = find_constant_certificate_builder(maximal_independent_set())
+        assert outcome is not None
+        builder, special = outcome
+        certificate = build_constant_certificate(builder, special)
+        assert certificate.validate() == []
+        # The special configuration is (b : b 1) and b occurs at a certificate leaf.
+        assert certificate.special_configuration == Configuration("b", ("1", "b"))
+        assert certificate.special_label == "b"
+        assert "b" in certificate.uniform.leaf_labels()
+
+    def test_certificate_trees_use_allowed_configurations_only(self):
+        outcome = find_constant_certificate_builder(maximal_independent_set())
+        builder, special = outcome
+        certificate = build_constant_certificate(builder, special)
+        problem = maximal_independent_set()
+        for tree in certificate.uniform.trees.values():
+            for config in tree.iter_internal_configurations():
+                assert config in problem.configurations

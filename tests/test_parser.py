@@ -1,0 +1,80 @@
+"""Unit tests for parsing and formatting of problem descriptions."""
+
+import pytest
+
+from repro.core import Configuration, LCLError, parse_configuration, parse_problem, format_problem
+from repro.core.parser import parse_problem_lines, round_trip
+from repro.problems import maximal_independent_set, three_coloring
+
+
+class TestConfigurationParsing:
+    def test_colon_form(self):
+        assert parse_configuration("1 : 2 3") == Configuration("1", ("2", "3"))
+
+    def test_compact_form(self):
+        assert parse_configuration("1:23") == Configuration("1", ("2", "3"))
+
+    def test_whitespace_form(self):
+        assert parse_configuration("a b b") == Configuration("a", ("b", "b"))
+
+    def test_multicharacter_labels_with_known_alphabet(self):
+        config = parse_configuration("x1 : a1 b1", known_labels=["x1", "a1", "b1"])
+        assert config == Configuration("x1", ("a1", "b1"))
+
+    def test_empty_line_rejected(self):
+        with pytest.raises(LCLError):
+            parse_configuration("   ")
+
+    def test_missing_children_rejected(self):
+        with pytest.raises(LCLError):
+            parse_configuration("1 :")
+
+
+class TestProblemParsing:
+    def test_three_coloring_from_paper_notation(self):
+        text = """
+        1 : 22   ; 1 : 23 ; 1 : 33
+        2 : 11   ; 2 : 13 ; 2 : 33
+        3 : 11   ; 3 : 12 ; 3 : 22
+        """
+        problem = parse_problem(text, name="3-coloring")
+        assert problem.configurations == three_coloring().configurations
+
+    def test_mis_from_lines(self):
+        problem = parse_problem_lines(
+            ["1 : a a", "1 : a b", "1 : b b", "a : b b", "b : b 1", "b : 1 1"]
+        )
+        assert problem.configurations == maximal_independent_set().configurations
+
+    def test_comments_and_blank_lines_ignored(self):
+        problem = parse_problem("# proper 2-coloring\n\n1 : 2 2\n2 : 1 1\n")
+        assert problem.num_configurations == 2
+
+    def test_inconsistent_arity_rejected(self):
+        with pytest.raises(LCLError):
+            parse_problem("1 : 2 2\n2 : 1")
+
+    def test_empty_description_rejected(self):
+        with pytest.raises(LCLError):
+            parse_problem("   \n  # nothing here\n")
+
+    def test_explicit_delta_checked(self):
+        with pytest.raises(LCLError):
+            parse_problem("1 : 2 2", delta=3)
+
+
+class TestFormatting:
+    def test_round_trip_three_coloring(self):
+        problem = three_coloring()
+        assert round_trip(problem).configurations == problem.configurations
+
+    def test_round_trip_mis(self):
+        problem = maximal_independent_set()
+        assert round_trip(problem).configurations == problem.configurations
+
+    def test_compact_formatting(self):
+        text = format_problem(three_coloring(), compact=True)
+        assert "1 : 22" in text
+
+    def test_format_is_sorted_and_stable(self):
+        assert format_problem(three_coloring()) == format_problem(three_coloring())

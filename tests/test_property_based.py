@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Configuration, LCLProblem, classify, ComplexityClass
+from repro.core.log_certificate import find_log_certificate, LogCertificate
+from repro.core.parser import format_problem, parse_problem
+from repro.automata import automaton_of
+from repro.labeling import brute_force_solve, greedy_top_down_solve, is_valid_labeling
+from repro.problems.random_problems import random_problem
+from repro.trees import complete_tree, random_full_tree
+from repro.distributed import three_color_tree, verify_proper_coloring, rake_compress_decomposition
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+labels_strategy = st.lists(
+    st.sampled_from(["1", "2", "3", "a", "b"]), min_size=1, max_size=3, unique=True
+)
+
+
+@st.composite
+def problems(draw, delta: int = 2):
+    """Random small LCL problems (δ = 2, at most 3 labels)."""
+    labels = draw(labels_strategy)
+    universe = [
+        (parent, tuple(sorted((first, second))))
+        for parent in labels
+        for first in labels
+        for second in labels
+        if first <= second
+    ]
+    subset = draw(st.lists(st.sampled_from(universe), min_size=0, max_size=len(universe), unique=True))
+    return LCLProblem.create(delta=delta, configurations=subset, labels=labels)
+
+
+@st.composite
+def small_trees(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    internal = draw(st.integers(min_value=1, max_value=12))
+    return random_full_tree(2, internal, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Configuration / problem invariants
+# ----------------------------------------------------------------------
+@given(st.text(alphabet="abc123", min_size=1, max_size=1), st.lists(st.sampled_from("abc123"), min_size=2, max_size=2))
+def test_configuration_canonical_form_is_permutation_invariant(parent, children):
+    assert Configuration(parent, tuple(children)) == Configuration(parent, tuple(reversed(children)))
+
+
+@given(problems())
+@settings(max_examples=60, deadline=None)
+def test_restriction_never_adds_configurations(problem):
+    for size in range(len(problem.labels) + 1):
+        subset = sorted(problem.labels)[:size]
+        restricted = problem.restrict(subset)
+        assert restricted.configurations <= problem.configurations
+        assert restricted.labels <= problem.labels
+
+
+@given(problems())
+@settings(max_examples=60, deadline=None)
+def test_path_form_edges_match_configurations(problem):
+    path = problem.path_form()
+    assert path.delta == 1
+    for config in path.configurations:
+        parent, child = config.parent, config.children[0]
+        assert any(
+            c.parent == parent and child in c.children for c in problem.configurations
+        )
+
+
+@given(problems())
+@settings(max_examples=40, deadline=None)
+def test_parser_round_trip(problem):
+    if problem.num_configurations == 0:
+        return
+    parsed = parse_problem(format_problem(problem), labels=problem.labels, delta=2)
+    assert parsed.configurations == problem.configurations
+
+
+# ----------------------------------------------------------------------
+# Classifier invariants cross-checked with brute force
+# ----------------------------------------------------------------------
+@given(problems())
+@settings(max_examples=40, deadline=None)
+def test_solvable_problems_admit_labelings_of_deep_trees(problem):
+    tree = complete_tree(2, 3)
+    result = classify(problem)
+    brute = brute_force_solve(problem, tree)
+    if result.complexity is not ComplexityClass.UNSOLVABLE:
+        assert brute is not None
+        assert is_valid_labeling(problem, tree, brute)
+    else:
+        deep = complete_tree(2, len(problem.labels) + 1)
+        assert brute_force_solve(problem, deep) is None
+
+
+@given(problems())
+@settings(max_examples=40, deadline=None)
+def test_greedy_solver_agrees_with_solvability(problem):
+    tree = complete_tree(2, 3)
+    labeling = greedy_top_down_solve(problem, tree)
+    if problem.is_solvable():
+        assert labeling is not None and is_valid_labeling(problem, tree, labeling)
+    else:
+        assert labeling is None
+
+
+@given(problems())
+@settings(max_examples=30, deadline=None)
+def test_log_certificate_is_always_a_valid_restriction(problem):
+    outcome = find_log_certificate(problem)
+    if isinstance(outcome, LogCertificate):
+        assert outcome.validate() == []
+        automaton = automaton_of(outcome.certificate_problem)
+        assert automaton.is_strongly_connected()
+
+
+@given(st.integers(min_value=2, max_value=4), st.floats(min_value=0.2, max_value=0.9), st.integers(0, 500))
+@settings(max_examples=25, deadline=None)
+def test_random_problem_classification_is_deterministic(num_labels, density, seed):
+    problem = random_problem(num_labels, density=density, seed=seed)
+    assert classify(problem).complexity == classify(problem).complexity
+
+
+# ----------------------------------------------------------------------
+# Tree and distributed-substrate invariants
+# ----------------------------------------------------------------------
+@given(small_trees())
+@settings(max_examples=40, deadline=None)
+def test_random_trees_are_full_binary(tree):
+    assert tree.is_full_delta_ary(2)
+    assert len(tree.leaves()) == len(tree.internal_nodes()) + 1
+
+
+@given(small_trees(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_distributed_coloring_is_always_proper(tree, seed):
+    colors, _rounds = three_color_tree(tree, tree.default_identifiers(seed=seed))
+    assert verify_proper_coloring(tree, colors)
+
+
+@given(small_trees(), st.integers(min_value=2, max_value=6))
+@settings(max_examples=30, deadline=None)
+def test_rake_compress_covers_tree(tree, p):
+    decomposition = rake_compress_decomposition(tree, p)
+    assert set(decomposition.layer.keys()) == set(tree.nodes())
+    assert decomposition.num_layers >= 1

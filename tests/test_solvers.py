@@ -1,0 +1,205 @@
+"""Tests for the distributed solvers (one per complexity class)."""
+
+import pytest
+
+from repro.core import ComplexityClass, classify
+from repro.distributed import (
+    ColoringSolver,
+    GlobalSolver,
+    LogSolver,
+    MISSolver,
+    PolynomialSolver,
+    SolverError,
+)
+from repro.distributed.solvers.mis_solver import MIS_MAGIC_STRING, independent_set_from_labeling
+from repro.labeling import verify_labeling
+from repro.problems import (
+    branch_two_coloring,
+    coloring,
+    figure2_combined_problem,
+    maximal_independent_set,
+    pi_k,
+    three_coloring,
+    two_coloring,
+    unsolvable_problem,
+)
+from repro.trees import complete_tree, hairy_path, random_full_tree
+
+TREES = {
+    "complete": complete_tree(2, 7),
+    "random": random_full_tree(2, 250, seed=13),
+    "hairy": hairy_path(2, 180),
+}
+
+
+def _assert_solves(solver, problem, tree, seed=3):
+    result = solver.solve(tree, seed=seed)
+    report = verify_labeling(problem, tree, result.labeling)
+    assert report.valid, report.violations[:3]
+    assert result.rounds >= 0
+    assert len(result.labeling) == tree.num_nodes
+    return result
+
+
+class TestMISSolver:
+    @pytest.mark.parametrize("kind", sorted(TREES))
+    def test_valid_on_all_instances(self, kind):
+        problem = maximal_independent_set()
+        _assert_solves(MISSolver(problem), problem, TREES[kind])
+
+    def test_constant_rounds(self):
+        problem = maximal_independent_set()
+        rounds = {
+            MISSolver(problem).solve(complete_tree(2, depth)).rounds for depth in (4, 7, 10)
+        }
+        assert rounds == {4}
+
+    def test_magic_string_has_sixteen_symbols(self):
+        assert len(MIS_MAGIC_STRING) == 16
+        assert set(MIS_MAGIC_STRING) == {"1", "a", "b"}
+
+    def test_all_sixteen_cases_are_valid_configurations(self):
+        """The core correctness argument of Section 1.3, checked exhaustively."""
+        problem = maximal_independent_set()
+        for value in range(16):
+            bits = format(value, "04b")
+            parent_label = MIS_MAGIC_STRING[value]
+            left = MIS_MAGIC_STRING[int(bits[1:] + "0", 2)]
+            right = MIS_MAGIC_STRING[int(bits[1:] + "1", 2)]
+            assert problem.has_configuration(parent_label, (left, right))
+
+    def test_independent_set_extraction(self):
+        problem = maximal_independent_set()
+        tree = complete_tree(2, 6)
+        result = MISSolver(problem).solve(tree)
+        membership = independent_set_from_labeling(result.labeling)
+        # Independence: no node in the set has a child in the set.
+        for node in tree.nodes():
+            if membership[node]:
+                assert not any(membership[child] for child in tree.children[node])
+
+    def test_rejects_wrong_delta(self):
+        with pytest.raises(SolverError):
+            MISSolver(maximal_independent_set(delta=3))
+
+
+class TestColoringSolver:
+    @pytest.mark.parametrize("kind", sorted(TREES))
+    def test_three_coloring(self, kind):
+        problem = three_coloring()
+        _assert_solves(ColoringSolver(problem), problem, TREES[kind])
+
+    def test_more_colors_still_valid(self):
+        problem = coloring(5)
+        _assert_solves(ColoringSolver(problem), problem, TREES["random"])
+
+    def test_logstar_like_round_growth(self):
+        problem = three_coloring()
+        small = ColoringSolver(problem).solve(complete_tree(2, 5)).rounds
+        large = ColoringSolver(problem).solve(complete_tree(2, 11)).rounds
+        assert large - small <= 3
+
+    def test_two_colors_rejected(self):
+        with pytest.raises(SolverError):
+            ColoringSolver(two_coloring())
+
+
+class TestLogSolver:
+    @pytest.mark.parametrize("kind", sorted(TREES))
+    def test_branch_two_coloring(self, kind):
+        problem = branch_two_coloring()
+        _assert_solves(LogSolver(problem), problem, TREES[kind])
+
+    @pytest.mark.parametrize("kind", sorted(TREES))
+    def test_figure2_problem(self, kind):
+        problem = figure2_combined_problem()
+        _assert_solves(LogSolver(problem), problem, TREES[kind])
+
+    def test_also_solves_easier_problems(self):
+        # Any problem with a log-certificate can be fed to the solver, including
+        # Θ(log* n) and O(1) problems.
+        for problem in (three_coloring(), maximal_independent_set()):
+            _assert_solves(LogSolver(problem), problem, TREES["random"])
+
+    def test_round_growth_is_logarithmic(self):
+        problem = branch_two_coloring()
+        solver = LogSolver(problem)
+        small = solver.solve(complete_tree(2, 6)).rounds
+        large = solver.solve(complete_tree(2, 12)).rounds
+        # Doubling the depth should roughly double the rounds, far from the 64x
+        # growth of the instance size.
+        assert large <= 3 * small
+
+    def test_rejects_problem_without_certificate(self):
+        with pytest.raises(SolverError):
+            LogSolver(two_coloring())
+
+    def test_breakdown_mentions_decomposition(self):
+        result = LogSolver(branch_two_coloring()).solve(complete_tree(2, 6))
+        assert "rake-and-compress decomposition (RCP(k))" in result.breakdown.as_dict()
+
+
+class TestGlobalSolver:
+    @pytest.mark.parametrize("kind", sorted(TREES))
+    def test_two_coloring(self, kind):
+        problem = two_coloring()
+        _assert_solves(GlobalSolver(problem), problem, TREES[kind])
+
+    def test_rounds_equal_twice_height(self):
+        tree = hairy_path(2, 120)
+        result = GlobalSolver(two_coloring()).solve(tree)
+        assert result.rounds == 2 * tree.height()
+
+    def test_rejects_unsolvable(self):
+        with pytest.raises(SolverError):
+            GlobalSolver(unsolvable_problem())
+
+
+class TestPolynomialSolver:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_pi_k_on_random_trees(self, k):
+        problem = pi_k(k)
+        _assert_solves(PolynomialSolver(k), problem, TREES["random"])
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_pi_k_on_complete_trees(self, k):
+        problem = pi_k(k)
+        _assert_solves(PolynomialSolver(k), problem, complete_tree(2, 9))
+
+    def test_rounds_shrink_with_k(self):
+        tree = complete_tree(2, 11)
+        rounds = [PolynomialSolver(k).solve(tree).rounds for k in (1, 2, 3)]
+        assert rounds[0] > rounds[1] > rounds[2]
+
+    def test_rounds_scale_like_n_to_one_over_k(self):
+        small, large = complete_tree(2, 8), complete_tree(2, 12)
+        ratio_n = large.num_nodes / small.num_nodes
+        for k in (2, 3):
+            solver = PolynomialSolver(k)
+            ratio_rounds = solver.solve(large).rounds / solver.solve(small).rounds
+            assert ratio_rounds < ratio_n ** (1.0 / k) * 2.5
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(SolverError):
+            PolynomialSolver(0)
+
+
+class TestSolverMetadata:
+    def test_results_carry_solver_names(self):
+        problem = maximal_independent_set()
+        result = MISSolver(problem).solve(complete_tree(2, 5))
+        assert result.solver_name == "mis-4-rounds"
+
+    def test_solver_requires_full_tree(self):
+        from repro.trees import lower_bound_tree
+
+        bipolar = lower_bound_tree(4, 2)  # not a full binary tree
+        with pytest.raises(SolverError):
+            MISSolver(maximal_independent_set()).solve(bipolar.tree)
+
+    def test_solver_classes_match_classifier(self):
+        """Each solver targets the class the classifier reports for its problem."""
+        assert classify(maximal_independent_set()).complexity == ComplexityClass.CONSTANT
+        assert classify(three_coloring()).complexity == ComplexityClass.LOGSTAR
+        assert classify(branch_two_coloring()).complexity == ComplexityClass.LOG
+        assert classify(pi_k(2)).complexity == ComplexityClass.POLYNOMIAL
