@@ -14,14 +14,15 @@ from __future__ import annotations
 import pytest
 
 from repro.core import ComplexityClass, classify
+from repro.engine import BatchClassifier
 from repro.problems import catalog
 
 
 def _classify_catalog():
-    results = {}
-    for name, (problem, _expected) in catalog().items():
-        results[name] = classify(problem).complexity
-    return results
+    entries = catalog()
+    classifier = BatchClassifier()
+    items = classifier.classify_many(problem for problem, _expected in entries.values())
+    return {name: item.result.complexity for name, item in zip(entries, items)}
 
 
 def test_landscape_rows_match_paper(benchmark):

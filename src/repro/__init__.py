@@ -8,7 +8,15 @@ The package provides:
 * certificates for each complexity class and their constructive materialization,
 * the rooted-tree and automata substrates,
 * a LOCAL/CONGEST simulator with certificate-driven distributed solvers,
+* a batch classification engine — canonical forms invariant under label
+  renaming, a result cache keyed by them, and a deduplicating
+  ``BatchClassifier`` with optional multiprocessing (``repro.engine``),
 * a catalog of the paper's sample problems and an experiment harness.
+
+The command line (``python -m repro``) exposes ``classify`` (single problems
+or the paper's catalog), ``classify-batch`` (directories or multi-problem
+files, deduplicated through the engine) and ``census`` (random-problem
+sweeps); every subcommand accepts ``--json`` for machine-readable output.
 
 Quick start::
 
@@ -16,6 +24,15 @@ Quick start::
 
     result = classify(problems.maximal_independent_set())
     print(result.complexity)        # ComplexityClass.CONSTANT
+
+Batch quick start::
+
+    from repro import BatchClassifier
+    from repro.problems.random_problems import random_problem
+
+    engine = BatchClassifier()
+    items = engine.classify_many(random_problem(2, seed=s) for s in range(100))
+    print(engine.stats.speedup)     # searches amortized away by caching
 """
 
 from . import automata, core, labeling, problems, trees
@@ -29,19 +46,25 @@ from .core import (
     complexity_of,
     parse_problem,
 )
+from . import engine
+from .engine import BatchClassifier, ClassificationCache, canonical_form
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchClassifier",
+    "ClassificationCache",
     "ClassificationResult",
     "ComplexityClass",
     "Configuration",
     "LCLProblem",
     "automata",
+    "canonical_form",
     "classify",
     "classify_with_certificates",
     "complexity_of",
     "core",
+    "engine",
     "labeling",
     "parse_problem",
     "problems",

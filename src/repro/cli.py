@@ -2,26 +2,50 @@
 
 Usage::
 
-    python -m repro classify path/to/problem.txt      # classify a problem file
-    python -m repro classify --catalog                # classify the paper's samples
+    python -m repro classify path/to/problem.txt        # classify a problem file
+    python -m repro classify --json path/to/problem.txt # machine-readable output
+    python -m repro classify --catalog                  # classify the paper's samples
     echo "1 : 2 2 ; 2 : 1 1" | python -m repro classify -
+    python -m repro classify-batch problems/            # every *.txt in a directory
+    python -m repro classify-batch many.txt             # '---'-separated problem blocks
+    python -m repro census --labels 2 --count 200       # random-problem sweep
 
 A problem file contains one configuration per line in the paper's notation
-(``parent : child child ...``); blank lines and ``#`` comments are ignored.
-The output reports the complexity class, the certificate label sets and, for
-``n^{Θ(1)}`` problems, the ``Ω(n^{1/k})`` lower-bound exponent.
+(``parent : child child ...``); blank lines and ``#`` comments are ignored
+(see :mod:`repro.core.parser` for the full grammar).  A *batch* file holds
+several such problems separated by lines containing only ``---``; a comment of
+the form ``# name: some-name`` inside a block names that problem.
+
+``classify-batch`` and ``census`` route through the batch engine
+(:mod:`repro.engine`): problems are deduplicated by a renaming-invariant
+canonical form, each unique representative is classified once (optionally in
+parallel via ``--processes``), and results can persist across runs with
+``--cache FILE``.  Every subcommand accepts ``--json`` for machine-readable
+output.  The plain-text output reports the complexity class, the certificate
+label sets and, for ``n^{Θ(1)}`` problems, the ``Ω(n^{1/k})`` lower-bound
+exponent.
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
+import json
+import os
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .core.classifier import classify_with_certificates
 from .core.parser import parse_problem
-from .core.problem import LCLProblem
+from .core.problem import LCLError, LCLProblem
+from .engine.batch import BatchClassifier, BatchItem
+from .engine.cache import ClassificationCache
+from .engine.serialization import problem_to_dict, result_to_dict
 from .problems.catalog import catalog
+from .problems.random_problems import random_problem
+
+BATCH_SEPARATOR = "---"
+"""Line separating problem blocks inside a multi-problem batch file."""
 
 
 def _read_problem(source: str) -> LCLProblem:
@@ -34,6 +58,84 @@ def _read_problem(source: str) -> LCLProblem:
             text = handle.read()
         name = source
     return parse_problem(text, name=name)
+
+
+def _parse_batch_text(text: str, default_name: str) -> List[LCLProblem]:
+    """Split a multi-problem file into blocks and parse each one.
+
+    Blocks are separated by lines consisting solely of ``---``.  Inside a
+    block a comment of the form ``# name: foo`` names the problem; otherwise
+    blocks are named ``<default_name>#<index>``.
+    """
+    blocks: List[List[str]] = [[]]
+    for line in text.splitlines():
+        if line.strip() == BATCH_SEPARATOR:
+            blocks.append([])
+        else:
+            blocks[-1].append(line)
+    problems: List[LCLProblem] = []
+    index = 0
+    for block in blocks:
+        body = "\n".join(block)
+        if not any(
+            line.strip() and not line.strip().startswith("#") for line in block
+        ):
+            continue  # empty or comment-only block
+        index += 1
+        name = f"{default_name}#{index}"
+        for line in block:
+            stripped = line.strip()
+            if stripped.lower().startswith("# name:"):
+                name = stripped.split(":", 1)[1].strip()
+                break
+        problems.append(parse_problem(body, name=name))
+    return problems
+
+
+def _read_batch(source: str) -> List[LCLProblem]:
+    """Read problems from a directory of ``*.txt`` files or one batch file."""
+    if os.path.isdir(source):
+        paths = sorted(glob.glob(os.path.join(source, "*.txt")))
+        if not paths:
+            raise LCLError(f"directory {source!r} contains no *.txt problem files")
+        problems = []
+        for path in paths:
+            with open(path, "r", encoding="utf-8") as handle:
+                problems.extend(
+                    _parse_batch_text(handle.read(), os.path.basename(path))
+                )
+        return problems
+    if source == "-":
+        return _parse_batch_text(sys.stdin.read(), "<stdin>")
+    with open(source, "r", encoding="utf-8") as handle:
+        return _parse_batch_text(handle.read(), os.path.basename(source))
+
+
+def _make_classifier(args: argparse.Namespace) -> BatchClassifier:
+    """Build a :class:`BatchClassifier` from the ``--cache``/``--processes`` flags."""
+    cache = ClassificationCache(path=args.cache) if args.cache else None
+    return BatchClassifier(cache=cache, processes=args.processes)
+
+
+def _save_cache(classifier: BatchClassifier) -> None:
+    if classifier.cache.path:
+        classifier.cache.save()
+
+
+# ----------------------------------------------------------------------
+# classify
+# ----------------------------------------------------------------------
+def _classification_payload(problem: LCLProblem) -> Dict[str, Any]:
+    """The machine-readable classification of a single problem."""
+    artifacts = classify_with_certificates(problem)
+    result = artifacts.result
+    return {
+        "problem": problem_to_dict(problem),
+        "complexity": result.complexity.value,
+        "details": result.describe(),
+        "result": result_to_dict(result),
+        "elapsed_ms": artifacts.elapsed_seconds * 1000.0,
+    }
 
 
 def _report(problem: LCLProblem) -> str:
@@ -50,8 +152,24 @@ def _report(problem: LCLProblem) -> str:
 
 def _run_classify(args: argparse.Namespace) -> int:
     if args.catalog:
+        rows = []
         for name, (problem, expected) in catalog().items():
             artifacts = classify_with_certificates(problem)
+            rows.append((name, artifacts, expected))
+        if args.json:
+            payload = [
+                {
+                    "name": name,
+                    "complexity": artifacts.result.complexity.value,
+                    "expected": expected.value,
+                    "ok": artifacts.result.complexity == expected,
+                    "elapsed_ms": artifacts.elapsed_seconds * 1000.0,
+                }
+                for name, artifacts, expected in rows
+            ]
+            print(json.dumps(payload, indent=2))
+            return 0
+        for name, artifacts, expected in rows:
             marker = "ok" if artifacts.result.complexity == expected else "UNEXPECTED"
             print(
                 f"[{marker}] {name:22s} {artifacts.result.complexity.value:16s} "
@@ -61,8 +179,128 @@ def _run_classify(args: argparse.Namespace) -> int:
     if not args.problem:
         print("error: provide a problem file, '-' for stdin, or --catalog", file=sys.stderr)
         return 2
-    print(_report(_read_problem(args.problem)))
+    problem = _read_problem(args.problem)
+    if args.json:
+        print(json.dumps(_classification_payload(problem), indent=2))
+    else:
+        print(_report(problem))
     return 0
+
+
+# ----------------------------------------------------------------------
+# classify-batch
+# ----------------------------------------------------------------------
+def _batch_item_payload(item: BatchItem) -> Dict[str, Any]:
+    return {
+        "name": item.problem.name,
+        "complexity": item.result.complexity.value,
+        "details": item.result.describe(),
+        "from_cache": item.from_cache,
+        "canonical_key": item.canonical_key,
+        "result": result_to_dict(item.result),
+    }
+
+
+def _print_batch_report(items: List[BatchItem], classifier: BatchClassifier) -> None:
+    for item in items:
+        origin = "cached" if item.from_cache else "search"
+        print(
+            f"[{origin}] {item.problem.name:28s} {item.result.complexity.value:16s}"
+        )
+    stats = classifier.stats_report()
+    batch, cache = stats["batch"], stats["cache"]
+    print(
+        f"\n{batch['submitted']} problem(s), {batch['full_searches']} full search(es), "
+        f"{batch['amortized']} amortized ({batch['speedup']:.1f}x); "
+        f"cache hit rate {cache['hit_rate']:.0%}"
+    )
+
+
+def _run_classify_batch(args: argparse.Namespace) -> int:
+    problems = _read_batch(args.source)
+    classifier = _make_classifier(args)
+    items = classifier.classify_many(problems)
+    _save_cache(classifier)
+    if args.json:
+        payload = {
+            "items": [_batch_item_payload(item) for item in items],
+            "stats": classifier.stats_report(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    _print_batch_report(items, classifier)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# census
+# ----------------------------------------------------------------------
+def _run_census(args: argparse.Namespace) -> int:
+    problems = [
+        random_problem(
+            args.labels,
+            delta=args.delta,
+            density=args.density,
+            seed=args.seed + index,
+        )
+        for index in range(args.count)
+    ]
+    classifier = _make_classifier(args)
+    items = classifier.classify_many(problems)
+    _save_cache(classifier)
+    counts: Dict[str, int] = {}
+    for item in items:
+        value = item.result.complexity.value
+        counts[value] = counts.get(value, 0) + 1
+    if args.json:
+        payload = {
+            "params": {
+                "labels": args.labels,
+                "delta": args.delta,
+                "density": args.density,
+                "count": args.count,
+                "seed": args.seed,
+            },
+            "counts": counts,
+            "stats": classifier.stats_report(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"Random census: {args.count} problems, {args.labels} labels, "
+        f"delta={args.delta}, density={args.density}"
+    )
+    for value, count in sorted(counts.items(), key=lambda pair: -pair[1]):
+        print(f"  {value:16s} {count:5d}")
+    stats = classifier.stats_report()
+    batch = stats["batch"]
+    print(
+        f"\n{batch['full_searches']} full search(es) for {batch['submitted']} "
+        f"problem(s) ({batch['speedup']:.1f}x amortization)"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# argument parser
+# ----------------------------------------------------------------------
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON output"
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="classify unique problems across N worker processes",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="FILE",
+        help="persist classification results to a JSON cache file",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Classifier for locally checkable problems in rooted regular trees (PODC 2021).",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
     classify_parser = subparsers.add_parser(
         "classify", help="classify a problem given as a configuration list"
     )
@@ -81,7 +320,46 @@ def build_parser() -> argparse.ArgumentParser:
     classify_parser.add_argument(
         "--catalog", action="store_true", help="classify the paper's sample problems instead"
     )
+    classify_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON output"
+    )
     classify_parser.set_defaults(handler=_run_classify)
+
+    batch_parser = subparsers.add_parser(
+        "classify-batch",
+        help="classify many problems at once, deduplicating by canonical form",
+    )
+    batch_parser.add_argument(
+        "source",
+        help="directory of *.txt problem files, a '---'-separated batch file, or '-'",
+    )
+    _add_engine_flags(batch_parser)
+    batch_parser.set_defaults(handler=_run_classify_batch)
+
+    census_parser = subparsers.add_parser(
+        "census", help="classify a sweep of random problems and tally the classes"
+    )
+    census_parser.add_argument(
+        "--labels", type=int, default=2, help="alphabet size (default: 2)"
+    )
+    census_parser.add_argument(
+        "--delta", type=int, default=2, help="children per internal node (default: 2)"
+    )
+    census_parser.add_argument(
+        "--density",
+        type=float,
+        default=0.5,
+        help="probability of keeping each configuration (default: 0.5)",
+    )
+    census_parser.add_argument(
+        "--count", type=int, default=100, help="number of random draws (default: 100)"
+    )
+    census_parser.add_argument(
+        "--seed", type=int, default=0, help="base random seed (default: 0)"
+    )
+    _add_engine_flags(census_parser)
+    census_parser.set_defaults(handler=_run_census)
+
     return parser
 
 
@@ -89,7 +367,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point used by ``python -m repro``."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except (ValueError, OSError) as error:
+        # LCLError (malformed problems), JSONDecodeError (corrupt caches) and
+        # file-system errors all surface as one-line CLI errors, not tracebacks.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,6 +19,30 @@ present the first token is the parent.  Compact single-character notation such a
 ``"1 : 22"`` (as used in the paper for binary trees) is also accepted: a children
 token longer than one character that is not a declared multi-character label is
 split into its characters.
+
+Problem-file grammar
+--------------------
+This is the authoritative description of the format consumed by
+:func:`parse_problem` (and therefore by ``python -m repro classify``)::
+
+    problem        ::= line*
+    line           ::= comment | blank | configuration
+    comment        ::= "#" <anything up to end of line>
+    blank          ::=                               (ignored)
+    configuration  ::= parent ":" children | parent children
+    parent         ::= LABEL
+    children       ::= (LABEL | GLUED)+              (exactly delta labels)
+    LABEL          ::= any non-whitespace token
+    GLUED          ::= multi-character token split into single-character
+                      labels, unless declared as a label itself
+
+Semicolons (``;``) are treated as line separators, so several configurations
+may share one physical line.  Every configuration must have the same number of
+children ``delta`` (inferred from the first configuration when not given
+explicitly); children are unordered, so ``1 : 2 3`` and ``1 : 3 2`` denote the
+same configuration.  Multi-problem *batch* files additionally separate problem
+blocks with ``---`` lines; that outer layer is handled by ``repro.cli``, each
+block is parsed with the grammar above.
 """
 
 from __future__ import annotations

@@ -1,0 +1,49 @@
+"""Batch classification engine: canonical forms, caching, and batching.
+
+This package amortizes the cost of the paper's decision procedure across
+fleets of problems:
+
+* :mod:`repro.engine.canonical` — canonical relabeling of an
+  :class:`~repro.core.problem.LCLProblem`, invariant under label renaming,
+  with a stable cache key,
+* :mod:`repro.engine.cache` — in-memory + optional on-disk (JSON) result
+  cache keyed by canonical form, with hit/miss statistics,
+* :mod:`repro.engine.batch` — :class:`BatchClassifier`, which deduplicates a
+  stream of problems by canonical key, classifies unique representatives
+  (optionally across worker processes), and translates cached results back
+  through each problem's label bijection,
+* :mod:`repro.engine.serialization` — dict/JSON round-tripping of problems
+  and classification results, so results survive process boundaries and the
+  on-disk cache.
+"""
+
+from .batch import BatchClassifier, BatchItem, BatchStats
+from .cache import CacheStats, ClassificationCache
+from .canonical import CanonicalForm, canonical_form, canonical_key
+from .serialization import (
+    artifacts_from_dict,
+    artifacts_to_dict,
+    problem_from_dict,
+    problem_to_dict,
+    relabel_result,
+    result_from_dict,
+    result_to_dict,
+)
+
+__all__ = [
+    "BatchClassifier",
+    "BatchItem",
+    "BatchStats",
+    "CacheStats",
+    "CanonicalForm",
+    "ClassificationCache",
+    "artifacts_from_dict",
+    "artifacts_to_dict",
+    "canonical_form",
+    "canonical_key",
+    "problem_from_dict",
+    "problem_to_dict",
+    "relabel_result",
+    "result_from_dict",
+    "result_to_dict",
+]

@@ -1,0 +1,246 @@
+"""Batch classification: dedupe by canonical form, classify once, translate back.
+
+:class:`BatchClassifier` is the amortizing front-end to the (exponential-time)
+certificate searches of :mod:`repro.core.classifier`.  Given a stream of
+problems it
+
+1. computes every problem's canonical form (:mod:`repro.engine.canonical`),
+2. deduplicates the stream by canonical key — one *representative* per
+   renaming orbit,
+3. runs the full decision procedure only on representatives whose key is not
+   already in the cache (optionally fanning out across worker processes via
+   :mod:`multiprocessing`),
+4. stores each fresh result in the cache *in canonical labels*, and
+5. answers every submitted problem by translating the cached canonical result
+   back through that problem's own label bijection.
+
+Because results are stored in canonical labels and translated per caller, a
+cache hit on the *same* problem reproduces the fresh classification exactly;
+a hit on a merely *isomorphic* problem yields an equally valid result whose
+certificate label sets are the bijective image of the representative's.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.classifier import classify_with_certificates
+from ..core.complexity import ClassificationResult
+from ..core.problem import LCLProblem
+from .cache import CacheStats, ClassificationCache
+from .canonical import CanonicalForm, canonical_form
+from .serialization import (
+    problem_from_dict,
+    problem_to_dict,
+    relabel_result,
+    result_from_dict,
+    result_to_dict,
+)
+
+_WorkerTask = Tuple[str, Dict[str, Any], Dict[str, str]]
+
+
+def _classify_worker(task: _WorkerTask) -> Tuple[str, Dict[str, Any]]:
+    """Worker entry point: classify one representative, in canonical labels.
+
+    Runs in a separate process, so everything crossing the boundary is a
+    plain dict (see :mod:`repro.engine.serialization`).
+    """
+    key, problem_payload, forward = task
+    problem = problem_from_dict(problem_payload)
+    artifacts = classify_with_certificates(problem)
+    payload = result_to_dict(relabel_result(artifacts.result, forward))
+    payload["elapsed_seconds"] = artifacts.elapsed_seconds
+    return key, payload
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """Classification of one submitted problem inside a batch."""
+
+    problem: LCLProblem
+    canonical_key: str
+    result: ClassificationResult
+    from_cache: bool
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class BatchStats:
+    """Work accounting of a :class:`BatchClassifier`.
+
+    ``full_searches`` counts actual runs of the complete decision procedure;
+    the gap between it and ``submitted`` is the work amortized away by
+    canonical deduplication and caching.
+    """
+
+    submitted: int = 0
+    full_searches: int = 0
+
+    @property
+    def amortized(self) -> int:
+        """Problems answered without running the decision procedure."""
+        return self.submitted - self.full_searches
+
+    @property
+    def speedup(self) -> float:
+        """Ratio of submitted problems to full searches (1.0 when no sharing)."""
+        if not self.full_searches:
+            return float(self.submitted) if self.submitted else 1.0
+        return self.submitted / self.full_searches
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The statistics as a JSON-friendly dictionary."""
+        return {
+            "submitted": self.submitted,
+            "full_searches": self.full_searches,
+            "amortized": self.amortized,
+            "speedup": self.speedup,
+        }
+
+
+class BatchClassifier:
+    """Canonical-form-deduplicating, caching classifier front-end.
+
+    Parameters
+    ----------
+    cache:
+        The :class:`ClassificationCache` to consult and fill.  A fresh
+        in-memory cache is created when omitted.
+    processes:
+        When > 1, uncached representatives of a :meth:`classify_many` call are
+        classified in a :class:`multiprocessing.Pool` of this many workers.
+        ``None`` or 1 means serial execution in-process.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ClassificationCache] = None,
+        processes: Optional[int] = None,
+    ) -> None:
+        self.cache = cache if cache is not None else ClassificationCache()
+        self.processes = processes
+        self.stats = BatchStats()
+
+    # ------------------------------------------------------------------
+    # Single-problem interface
+    # ------------------------------------------------------------------
+    def classify(self, problem: LCLProblem) -> ClassificationResult:
+        """Classify one problem through the cache (decision only)."""
+        return self.classify_item(problem).result
+
+    def classify_item(self, problem: LCLProblem) -> BatchItem:
+        """Classify one problem through the cache, with provenance."""
+        form = canonical_form(problem)
+        self.stats.submitted += 1
+        payload = self.cache.lookup(form.key)
+        if payload is not None:
+            return self._item_from_payload(form, payload, from_cache=True)
+        payload = self._classify_representative(form)
+        return self._item_from_payload(form, payload, from_cache=False)
+
+    # ------------------------------------------------------------------
+    # Batch interface
+    # ------------------------------------------------------------------
+    def classify_many(self, problems: Iterable[LCLProblem]) -> List[BatchItem]:
+        """Classify a stream of problems, deduplicating by canonical form.
+
+        Results are returned in submission order.  Representatives missing
+        from the cache are classified serially, or in a worker pool when the
+        classifier was constructed with ``processes > 1``.
+        """
+        forms = [canonical_form(problem) for problem in problems]
+        self.stats.submitted += len(forms)
+
+        # One cache lookup per *distinct* key: the first occurrence decides
+        # hit or miss, duplicates within the batch count as hits.
+        first_form_by_key: Dict[str, CanonicalForm] = {}
+        for form in forms:
+            first_form_by_key.setdefault(form.key, form)
+        missing: List[CanonicalForm] = []
+        for key, form in first_form_by_key.items():
+            if self.cache.lookup(key) is None:
+                missing.append(form)
+            # Duplicate submissions of the same orbit are answered from the
+            # cache below; count them as hits now.
+        duplicate_count = len(forms) - len(first_form_by_key)
+        self.cache.stats.hits += duplicate_count
+
+        self._classify_missing(missing)
+
+        items: List[BatchItem] = []
+        fresh_keys = {form.key for form in missing}
+        for form in forms:
+            payload = self.cache.peek(form.key)
+            assert payload is not None  # every key was just filled or present
+            items.append(
+                self._item_from_payload(
+                    form, payload, from_cache=form.key not in fresh_keys
+                )
+            )
+            fresh_keys.discard(form.key)  # only the first occurrence is "fresh"
+        return items
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _classify_missing(self, missing: Sequence[CanonicalForm]) -> None:
+        """Classify every representative in ``missing`` and fill the cache."""
+        if not missing:
+            return
+        self.stats.full_searches += len(missing)
+        if self.processes and self.processes > 1 and len(missing) > 1:
+            tasks: List[_WorkerTask] = [
+                (form.key, problem_to_dict(form.problem), dict(form.forward))
+                for form in missing
+            ]
+            try:
+                with multiprocessing.Pool(self.processes) as pool:
+                    for key, payload in pool.imap_unordered(_classify_worker, tasks):
+                        self.cache.store(key, payload)
+                return
+            except OSError:  # pragma: no cover - pool unavailable (sandboxing)
+                pass  # fall through to the serial path
+        for form in missing:
+            key, payload = _classify_worker(
+                (form.key, problem_to_dict(form.problem), dict(form.forward))
+            )
+            self.cache.store(key, payload)
+
+    def _classify_representative(self, form: CanonicalForm) -> Dict[str, Any]:
+        """Classify a single representative and store its canonical result."""
+        self.stats.full_searches += 1
+        _key, payload = _classify_worker(
+            (form.key, problem_to_dict(form.problem), dict(form.forward))
+        )
+        self.cache.store(form.key, payload)
+        return payload
+
+    def _item_from_payload(
+        self,
+        form: CanonicalForm,
+        payload: Mapping[str, Any],
+        from_cache: bool,
+    ) -> BatchItem:
+        canonical_result = result_from_dict(payload)
+        return BatchItem(
+            problem=form.problem,
+            canonical_key=form.key,
+            result=relabel_result(canonical_result, form.inverse),
+            from_cache=from_cache,
+            elapsed_seconds=0.0 if from_cache else payload.get("elapsed_seconds", 0.0),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def cache_stats(self) -> CacheStats:
+        """The underlying cache's hit/miss statistics."""
+        return self.cache.stats
+
+    def stats_report(self) -> Dict[str, Any]:
+        """Combined batch + cache statistics as a JSON-friendly dictionary."""
+        return {"batch": self.stats.as_dict(), "cache": self.cache.stats.as_dict()}

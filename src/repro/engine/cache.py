@@ -1,0 +1,158 @@
+"""Classification cache keyed by canonical form, with hit/miss statistics.
+
+The cache stores *serialized* classification results (see
+:mod:`repro.engine.serialization`) indexed by the canonical-form key of
+:mod:`repro.engine.canonical`.  Stored results are expressed in the canonical
+alphabet; translating them back into a caller's original alphabet is the
+responsibility of :class:`repro.engine.batch.BatchClassifier`, which owns the
+label bijections.
+
+Two storage tiers are provided:
+
+* an always-on in-memory dictionary, and
+* an optional on-disk JSON file (``path=...``) so that expensive certificate
+  searches survive process restarts.  The on-disk format is a single JSON
+  object ``{"schema": 1, "entries": {key: result_dict}}``; it is loaded lazily
+  on construction and written back explicitly via :meth:`save` (or on every
+  store with ``autosave=True``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of a :class:`ClassificationCache`."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        """Number of lookups performed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when empty)."""
+        if not self.total:
+            return 0.0
+        return self.hits / self.total
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The statistics as a JSON-friendly dictionary."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "total": self.total,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class ClassificationCache:
+    """In-memory + optional on-disk store of serialized classification results.
+
+    Parameters
+    ----------
+    path:
+        Optional JSON file backing the cache.  When given and the file exists,
+        its entries are loaded on construction.
+    autosave:
+        When ``True`` (and ``path`` is set) every :meth:`store` immediately
+        rewrites the backing file.  Defaults to ``False``; call :meth:`save`.
+    """
+
+    path: Optional[str] = None
+    autosave: bool = False
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.path and os.path.exists(self.path):
+            self.load()
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the stored result dict for ``key`` (counting a hit or miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def peek(self, key: str) -> Optional[Dict[str, Any]]:
+        """Like :meth:`lookup` but without touching the statistics."""
+        return self._entries.get(key)
+
+    def store(self, key: str, result_payload: Mapping[str, Any]) -> None:
+        """Store a serialized result under ``key`` (overwriting any old entry)."""
+        self._entries[key] = dict(result_payload)
+        if self.autosave and self.path:
+            self.save()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over the stored canonical keys."""
+        return iter(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept; use ``reset_stats`` too)."""
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters."""
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # On-disk persistence
+    # ------------------------------------------------------------------
+    def load(self) -> int:
+        """(Re)load entries from :attr:`path`, merging over in-memory ones.
+
+        Returns the number of entries loaded.  Unknown schema versions are
+        rejected with :class:`ValueError` rather than silently misread.
+        """
+        if not self.path:
+            raise ValueError("cache has no backing path")
+        with open(self.path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        schema = payload.get("schema")
+        if schema != CACHE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported cache schema {schema!r} in {self.path}"
+                f" (expected {CACHE_SCHEMA_VERSION})"
+            )
+        entries = payload.get("entries", {})
+        for key, entry in entries.items():
+            if not isinstance(entry, dict) or "complexity" not in entry:
+                raise ValueError(f"malformed cache entry {key!r} in {self.path}")
+        self._entries.update(entries)
+        return len(entries)
+
+    def save(self) -> None:
+        """Write every entry to :attr:`path` as a single JSON document."""
+        if not self.path:
+            raise ValueError("cache has no backing path")
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        payload = {"schema": CACHE_SCHEMA_VERSION, "entries": self._entries}
+        tmp_path = f"{self.path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=None, sort_keys=True)
+        os.replace(tmp_path, self.path)

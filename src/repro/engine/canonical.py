@@ -1,0 +1,200 @@
+"""Canonical forms of LCL problems, invariant under label renaming.
+
+Two LCL problems that differ only by a bijective renaming of their labels have
+exactly the same round complexity (renaming commutes with every definition in
+the paper), so re-running the exponential-time certificate searches on every
+isomorphic copy is pure waste.  This module computes, for each problem, a
+*canonical form*: a relabeling of the problem onto the fixed alphabet
+``"0", "1", ..."`` such that every problem in the same renaming orbit maps to
+the identical canonical problem.  The canonical form's stable text key is what
+the classification cache (:mod:`repro.engine.cache`) uses as its index.
+
+The construction is the classic two-step scheme for graph-like canonical
+labelings:
+
+1. *Invariant partition.*  Each label gets a renaming-invariant signature
+   (how often it parents a configuration, its child-occurrence profile, its
+   self-loop count, ...).  Sorting labels by signature splits the alphabet
+   into ordered groups that any canonicalizing permutation must respect.
+2. *Minimization within groups.*  Among all permutations that respect the
+   group order, pick the one whose relabeled configuration list is
+   lexicographically smallest.  Because an isomorphism between two problems
+   maps signature groups onto signature groups, both problems range over the
+   same candidate set and therefore pick the same minimum.
+
+Alphabets in practice are tiny (the paper's examples use 2–4 labels), so the
+within-group search is cheap.  As a safety valve, when the number of candidate
+permutations exceeds :data:`MAX_CANONICAL_PERMUTATIONS` the search is skipped
+and the signature order alone fixes the relabeling; the resulting key is still
+deterministic for each concrete problem (so caching stays *correct*), it may
+merely fail to merge some isomorphic copies (so caching gets *weaker*).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from itertools import permutations
+from math import factorial
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from ..core.configuration import Configuration, Label
+from ..core.problem import LCLProblem
+
+MAX_CANONICAL_PERMUTATIONS = 50_000
+"""Upper bound on within-group permutations tried before falling back to
+signature order only."""
+
+_IndexedConfig = Tuple[int, Tuple[int, ...]]
+
+
+def _label_signature(problem: LCLProblem, label: Label) -> Tuple:
+    """A renaming-invariant signature of ``label`` inside ``problem``.
+
+    The signature only aggregates *counts* (never label identities), so any
+    bijective renaming preserves it.
+    """
+    parent_profiles: List[Tuple[int, int, int]] = []
+    child_profile: List[Tuple[int, int]] = []
+    for config in problem.configurations:
+        occurrences = sum(1 for child in config.children if child == label)
+        if config.parent == label:
+            # (distinct children, occurrences of the label itself, special?)
+            parent_profiles.append(
+                (len(set(config.children)), occurrences, int(config.is_special()))
+            )
+        if occurrences:
+            child_profile.append((occurrences, int(config.parent == label)))
+    return (
+        len(parent_profiles),
+        sum(count for count, _ in child_profile),
+        tuple(sorted(parent_profiles)),
+        tuple(sorted(child_profile)),
+    )
+
+
+def _signature_groups(problem: LCLProblem) -> List[List[Label]]:
+    """Partition the alphabet into signature groups, in canonical group order."""
+    by_signature: Dict[Tuple, List[Label]] = {}
+    for label in problem.sorted_labels():
+        by_signature.setdefault(_label_signature(problem, label), []).append(label)
+    return [by_signature[signature] for signature in sorted(by_signature)]
+
+
+def _group_respecting_orders(groups: Sequence[Sequence[Label]]) -> Iterator[Tuple[Label, ...]]:
+    """Yield every label ordering obtained by permuting within each group."""
+
+    def recurse(index: int, prefix: Tuple[Label, ...]) -> Iterator[Tuple[Label, ...]]:
+        if index == len(groups):
+            yield prefix
+            return
+        for ordering in permutations(groups[index]):
+            yield from recurse(index + 1, prefix + ordering)
+
+    yield from recurse(0, ())
+
+
+def _indexed_configurations(
+    problem: LCLProblem, index_of: Mapping[Label, int]
+) -> Tuple[_IndexedConfig, ...]:
+    """The configuration set under a label→index assignment, in sorted order."""
+    return tuple(
+        sorted(
+            (
+                index_of[config.parent],
+                tuple(sorted(index_of[child] for child in config.children)),
+            )
+            for config in problem.configurations
+        )
+    )
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """The canonical relabeling of a problem.
+
+    Attributes
+    ----------
+    problem:
+        The original problem.
+    canonical_problem:
+        The problem relabeled onto the canonical alphabet ``"0", "1", ...``.
+    forward:
+        Bijection original label → canonical label.
+    inverse:
+        Bijection canonical label → original label.
+    key:
+        A stable, human-readable text key uniquely identifying the canonical
+        problem (equal for every problem in the same renaming orbit).
+    """
+
+    problem: LCLProblem
+    canonical_problem: LCLProblem
+    forward: Mapping[Label, Label]
+    inverse: Mapping[Label, Label]
+    key: str
+
+    @property
+    def digest(self) -> str:
+        """A short hex digest of :attr:`key`, handy for filenames and logs."""
+        return hashlib.sha256(self.key.encode("utf-8")).hexdigest()[:16]
+
+
+def canonical_form(problem: LCLProblem) -> CanonicalForm:
+    """Compute the canonical form of ``problem`` (see the module docstring)."""
+    groups = _signature_groups(problem)
+    candidates = 1
+    for group in groups:
+        candidates *= factorial(len(group))
+
+    best_order: Tuple[Label, ...]
+    if candidates == 1 or candidates > MAX_CANONICAL_PERMUTATIONS:
+        best_order = tuple(label for group in groups for label in group)
+    else:
+        best_order = min(
+            _group_respecting_orders(groups),
+            key=lambda order: _indexed_configurations(
+                problem, {label: idx for idx, label in enumerate(order)}
+            ),
+        )
+
+    forward = {label: str(index) for index, label in enumerate(best_order)}
+    inverse = {canonical: label for label, canonical in forward.items()}
+    canonical_problem = LCLProblem(
+        delta=problem.delta,
+        labels=frozenset(forward.values()),
+        configurations=frozenset(
+            Configuration(
+                forward[config.parent],
+                tuple(forward[child] for child in config.children),
+            )
+            for config in problem.configurations
+        ),
+        name="canonical",
+    )
+    key = canonical_key_of(canonical_problem)
+    return CanonicalForm(
+        problem=problem,
+        canonical_problem=canonical_problem,
+        forward=forward,
+        inverse=inverse,
+        key=key,
+    )
+
+
+def canonical_key_of(canonical_problem: LCLProblem) -> str:
+    """Render the stable text key of an already-canonical problem."""
+    config_text = "|".join(
+        f"{config.parent}:{','.join(config.children)}"
+        for config in canonical_problem.sorted_configurations()
+    )
+    return (
+        f"d={canonical_problem.delta};"
+        f"k={canonical_problem.num_labels};"
+        f"C={config_text}"
+    )
+
+
+def canonical_key(problem: LCLProblem) -> str:
+    """Shortcut: the canonical cache key of ``problem``."""
+    return canonical_form(problem).key

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -29,3 +31,91 @@ def test_classify_without_argument_fails(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_classify_json_matches_plain_report(tmp_path, capsys):
+    problem_file = tmp_path / "two_coloring.txt"
+    problem_file.write_text("1 : 2 2\n2 : 1 1\n")
+
+    assert main(["classify", str(problem_file)]) == 0
+    plain = capsys.readouterr().out
+    assert main(["classify", "--json", str(problem_file)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+
+    assert payload["complexity"] == "n^Theta(1)"
+    assert f"complexity: {payload['complexity']}" in plain
+    assert payload["result"]["complexity"] == "POLYNOMIAL"
+    assert payload["problem"]["labels"] == ["1", "2"]
+
+
+def test_classify_catalog_json(capsys):
+    assert main(["classify", "--catalog", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert all(entry["ok"] for entry in payload)
+    assert {entry["name"] for entry in payload} >= {"mis", "3-coloring"}
+
+
+def test_classify_batch_file(tmp_path, capsys):
+    batch_file = tmp_path / "many.txt"
+    batch_file.write_text(
+        "# name: two-coloring\n1 : 2 2\n2 : 1 1\n"
+        "---\n"
+        "# name: trivial\n1 : 1 1\n"
+        "---\n"
+        "1 : 2 2\n2 : 1 1\n"
+    )
+    assert main(["classify-batch", str(batch_file), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+
+    names = [item["name"] for item in payload["items"]]
+    assert names == ["two-coloring", "trivial", "many.txt#3"]
+    assert payload["items"][0]["complexity"] == "n^Theta(1)"
+    assert payload["items"][1]["complexity"] == "O(1)"
+    # The third problem is identical to the first: answered from the cache.
+    assert payload["items"][2]["from_cache"] is True
+    assert payload["stats"]["batch"]["submitted"] == 3
+    assert payload["stats"]["batch"]["full_searches"] == 2
+
+
+def test_classify_batch_directory(tmp_path, capsys):
+    (tmp_path / "a.txt").write_text("1 : 2 2\n2 : 1 1\n")
+    (tmp_path / "b.txt").write_text("1 : 1 1\n")
+    assert main(["classify-batch", str(tmp_path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["items"]) == 2
+    assert payload["items"][0]["name"].startswith("a.txt")
+
+
+def test_classify_batch_persistent_cache(tmp_path, capsys):
+    batch_file = tmp_path / "many.txt"
+    batch_file.write_text("1 : 2 2\n2 : 1 1\n---\n1 : 1 1\n")
+    cache_file = tmp_path / "cache.json"
+
+    assert main(["classify-batch", str(batch_file), "--json", "--cache", str(cache_file)]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["stats"]["batch"]["full_searches"] == 2
+    assert cache_file.exists()
+
+    assert main(["classify-batch", str(batch_file), "--json", "--cache", str(cache_file)]) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["stats"]["batch"]["full_searches"] == 0
+    assert [item["complexity"] for item in first["items"]] == [
+        item["complexity"] for item in second["items"]
+    ]
+
+
+def test_census_json_round_trips(capsys):
+    assert main(["census", "--labels", "2", "--count", "40", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert sum(payload["counts"].values()) == 40
+    assert payload["params"]["labels"] == 2
+    assert payload["stats"]["batch"]["submitted"] == 40
+    # Duplicate-heavy two-label space: canonical dedup must amortize work.
+    assert payload["stats"]["batch"]["full_searches"] < 40
+
+
+def test_census_plain_output(capsys):
+    assert main(["census", "--labels", "2", "--count", "20"]) == 0
+    output = capsys.readouterr().out
+    assert "Random census" in output
+    assert "full search(es)" in output
