@@ -9,6 +9,9 @@ Usage::
     python -m repro classify-batch problems/            # every *.txt in a directory
     python -m repro classify-batch many.txt             # '---'-separated problem blocks
     python -m repro census --labels 2 --count 200       # random-problem sweep
+    python -m repro serve --host 127.0.0.1 --port 8765  # long-running service (TCP)
+    python -m repro serve --stdio                       # service over stdin/stdout
+    python -m repro client --connect localhost:8765 classify problem.txt
 
 A problem file contains one configuration per line in the paper's notation
 (``parent : child child ...``); blank lines and ``#`` comments are ignored
@@ -20,15 +23,24 @@ the form ``# name: some-name`` inside a block names that problem.
 (:mod:`repro.engine`): problems are deduplicated by a renaming-invariant
 canonical form, each unique representative is classified once (optionally in
 parallel via ``--processes``), and results can persist across runs with
-``--cache FILE``.  Every subcommand accepts ``--json`` for machine-readable
-output.  The plain-text output reports the complexity class, the certificate
-label sets and, for ``n^{Θ(1)}`` problems, the ``Ω(n^{1/k})`` lower-bound
-exponent.
+``--cache FILE`` (bounded with ``--cache-max-entries N``, which evicts least
+recently used results).  Every subcommand accepts ``--json`` for
+machine-readable output.  The plain-text output reports the complexity class,
+the certificate label sets and, for ``n^{Θ(1)}`` problems, the ``Ω(n^{1/k})``
+lower-bound exponent.
+
+``serve`` runs the long-running classification service of
+:mod:`repro.service` — a JSON-lines protocol over stdio or TCP in which one
+persistent cache is shared by every client and batch/census responses stream
+item by item (spec: ``docs/service_protocol.md``).  ``client`` is its
+command-line counterpart: it connects to a running service and exposes the
+same classify/batch/census surface, plus ``stats`` and ``shutdown``.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import glob
 import json
 import os
@@ -43,6 +55,8 @@ from .engine.cache import ClassificationCache
 from .engine.serialization import problem_to_dict, result_to_dict
 from .problems.catalog import catalog
 from .problems.random_problems import random_problem
+from .service.client import ServiceClient, ServiceError
+from .service.server import ClassificationService
 
 BATCH_SEPARATOR = "---"
 """Line separating problem blocks inside a multi-problem batch file."""
@@ -111,10 +125,16 @@ def _read_batch(source: str) -> List[LCLProblem]:
         return _parse_batch_text(handle.read(), os.path.basename(source))
 
 
+def _make_cache(args: argparse.Namespace) -> Optional[ClassificationCache]:
+    """Build a cache from the ``--cache``/``--cache-max-entries`` flags."""
+    if not args.cache and args.cache_max_entries is None:
+        return None
+    return ClassificationCache(path=args.cache, max_entries=args.cache_max_entries)
+
+
 def _make_classifier(args: argparse.Namespace) -> BatchClassifier:
-    """Build a :class:`BatchClassifier` from the ``--cache``/``--processes`` flags."""
-    cache = ClassificationCache(path=args.cache) if args.cache else None
-    return BatchClassifier(cache=cache, processes=args.processes)
+    """Build a :class:`BatchClassifier` from the engine flags."""
+    return BatchClassifier(cache=_make_cache(args), processes=args.processes)
 
 
 def _save_cache(classifier: BatchClassifier) -> None:
@@ -282,6 +302,138 @@ def _run_census(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------
+def _run_serve(args: argparse.Namespace) -> int:
+    service = ClassificationService(cache=_make_cache(args))
+
+    def ready(address) -> None:
+        print(
+            f"repro service listening on {address[0]}:{address[1]}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        if args.stdio:
+            asyncio.run(service.serve_stdio())
+        else:
+            asyncio.run(service.serve_tcp(args.host, args.port, ready))
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+    return 0
+
+
+# ----------------------------------------------------------------------
+# client
+# ----------------------------------------------------------------------
+def _parse_connect(value: str) -> tuple:
+    host, separator, port_text = value.rpartition(":")
+    if not separator or not host or not port_text.isdigit():
+        raise LCLError(f"--connect expects HOST:PORT, got {value!r}")
+    return host, int(port_text)
+
+
+def _print_item_line(item: Dict[str, Any]) -> None:
+    origin = "cached" if item["from_cache"] else "search"
+    print(f"[{origin}] {item['name']:28s} {item['complexity']:16s}", flush=True)
+
+
+def _print_stream_summary(summary: Dict[str, Any]) -> None:
+    print(
+        f"\n{summary['count']} problem(s): {summary['cache_hits']} cache hit(s), "
+        f"{summary['cache_misses']} miss(es) (hit rate {summary['hit_rate']:.0%})"
+    )
+
+
+def _client_classify(args: argparse.Namespace, client: ServiceClient) -> int:
+    problem = _read_problem(args.problem)
+    payload = client.classify(problem_to_dict(problem))
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"problem:    {payload['name']}")
+    print(f"complexity: {payload['complexity']}")
+    print(f"details:    {payload['details']}")
+    print(f"cached:     {'yes' if payload['from_cache'] else 'no'}")
+    return 0
+
+
+def _client_batch(args: argparse.Namespace, client: ServiceClient) -> int:
+    specs = [problem_to_dict(problem) for problem in _read_batch(args.source)]
+    if args.json:
+        items: List[Dict[str, Any]] = []
+        summary = client.classify_batch(specs, on_item=items.append)
+        print(json.dumps({"items": items, "summary": summary}, indent=2))
+        return 0
+    summary = client.classify_batch(specs, on_item=_print_item_line)
+    _print_stream_summary(summary)
+    return 0
+
+
+def _client_census(args: argparse.Namespace, client: ServiceClient) -> int:
+    kwargs = {
+        "labels": args.labels,
+        "delta": args.delta,
+        "density": args.density,
+        "count": args.count,
+        "seed": args.seed,
+    }
+    if args.json:
+        summary = client.census(**kwargs)
+        print(json.dumps(summary, indent=2))
+        return 0
+    summary = client.census(on_item=_print_item_line, **kwargs)
+    print("\nCensus tally:")
+    for value, count in sorted(summary["counts"].items(), key=lambda pair: -pair[1]):
+        print(f"  {value:16s} {count:5d}")
+    _print_stream_summary(summary)
+    return 0
+
+
+def _client_stats(args: argparse.Namespace, client: ServiceClient) -> int:
+    payload = client.stats()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    service, cache, batch = payload["service"], payload["cache"], payload["batch"]
+    print(
+        f"service:  {service['requests_served']} request(s) served, "
+        f"up {service['uptime_seconds']:.0f}s"
+    )
+    budget = "unbounded" if cache["max_entries"] is None else str(cache["max_entries"])
+    print(
+        f"cache:    {cache['entries']} entries (budget {budget}), "
+        f"hit rate {cache['hit_rate']:.0%}, {cache['evictions']} eviction(s)"
+    )
+    print(
+        f"engine:   {batch['submitted']} submitted, {batch['full_searches']} full "
+        f"search(es) ({batch['speedup']:.1f}x amortization)"
+    )
+    return 0
+
+
+def _client_shutdown(args: argparse.Namespace, client: ServiceClient) -> int:
+    payload = client.shutdown()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    saved = "cache saved" if payload.get("cache_saved") else "no cache file"
+    print(f"service shut down ({saved})")
+    return 0
+
+
+def _run_client(args: argparse.Namespace) -> int:
+    host, port = _parse_connect(args.connect)
+    try:
+        with ServiceClient.connect_tcp(host, port, retries=args.retries) as client:
+            return args.client_handler(args, client)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+# ----------------------------------------------------------------------
 # argument parser
 # ----------------------------------------------------------------------
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -295,11 +447,22 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="classify unique problems across N worker processes",
     )
+    _add_cache_flags(parser)
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache",
         default=None,
         metavar="FILE",
         help="persist classification results to a JSON cache file",
+    )
+    parser.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the cache to N entries, evicting least recently used results",
     )
 
 
@@ -359,6 +522,89 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_flags(census_parser)
     census_parser.set_defaults(handler=_run_census)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the long-running classification service (JSON-lines protocol)",
+    )
+    serve_parser.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve one connection on stdin/stdout instead of TCP",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port; 0 binds an ephemeral port (default: 8765)",
+    )
+    _add_cache_flags(serve_parser)
+    serve_parser.set_defaults(handler=_run_serve)
+
+    client_parser = subparsers.add_parser(
+        "client", help="talk to a running classification service"
+    )
+    client_parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of a 'repro serve' TCP service",
+    )
+    client_parser.add_argument(
+        "--retries",
+        type=int,
+        default=20,
+        metavar="N",
+        help="connection attempts before giving up (default: 20, 0.25s apart)",
+    )
+    client_sub = client_parser.add_subparsers(dest="client_command", required=True)
+
+    client_classify = client_sub.add_parser(
+        "classify", help="classify one problem file ('-' for stdin) via the service"
+    )
+    client_classify.add_argument(
+        "problem", help="path to a problem file, or '-' to read standard input"
+    )
+    client_classify.add_argument("--json", action="store_true")
+    client_classify.set_defaults(client_handler=_client_classify)
+
+    client_batch = client_sub.add_parser(
+        "batch", help="stream a batch through the service, printing items as they finish"
+    )
+    client_batch.add_argument(
+        "source",
+        help="directory of *.txt problem files, a '---'-separated batch file, or '-'",
+    )
+    client_batch.add_argument("--json", action="store_true")
+    client_batch.set_defaults(client_handler=_client_batch)
+
+    client_census = client_sub.add_parser(
+        "census", help="run a server-side random census, streaming results"
+    )
+    client_census.add_argument("--labels", type=int, default=2)
+    client_census.add_argument("--delta", type=int, default=2)
+    client_census.add_argument("--density", type=float, default=0.5)
+    client_census.add_argument("--count", type=int, default=100)
+    client_census.add_argument("--seed", type=int, default=0)
+    client_census.add_argument("--json", action="store_true")
+    client_census.set_defaults(client_handler=_client_census)
+
+    client_stats = client_sub.add_parser(
+        "stats", help="print the service's cache and engine statistics"
+    )
+    client_stats.add_argument("--json", action="store_true")
+    client_stats.set_defaults(client_handler=_client_stats)
+
+    client_shutdown = client_sub.add_parser(
+        "shutdown", help="persist the service cache and stop the service"
+    )
+    client_shutdown.add_argument("--json", action="store_true")
+    client_shutdown.set_defaults(client_handler=_client_shutdown)
+
+    client_parser.set_defaults(handler=_run_client)
 
     return parser
 

@@ -7,7 +7,8 @@ fleets of problems:
   :class:`~repro.core.problem.LCLProblem`, invariant under label renaming,
   with a stable cache key,
 * :mod:`repro.engine.cache` — in-memory + optional on-disk (JSON) result
-  cache keyed by canonical form, with hit/miss statistics,
+  cache keyed by canonical form, with hit/miss/eviction statistics and an
+  optional LRU ``max_entries`` budget enforced in memory and on disk,
 * :mod:`repro.engine.batch` — :class:`BatchClassifier`, which deduplicates a
   stream of problems by canonical key, classifies unique representatives
   (optionally across worker processes), and translates cached results back

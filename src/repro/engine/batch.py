@@ -155,29 +155,35 @@ class BatchClassifier:
         self.stats.submitted += len(forms)
 
         # One cache lookup per *distinct* key: the first occurrence decides
-        # hit or miss, duplicates within the batch count as hits.
+        # hit or miss, duplicates within the batch count as hits.  Payloads are
+        # captured here (not re-read from the cache afterwards) so that a tight
+        # ``max_entries`` budget evicting entries mid-batch cannot lose answers.
         first_form_by_key: Dict[str, CanonicalForm] = {}
         for form in forms:
             first_form_by_key.setdefault(form.key, form)
+        payload_by_key: Dict[str, Dict[str, Any]] = {}
         missing: List[CanonicalForm] = []
         for key, form in first_form_by_key.items():
-            if self.cache.lookup(key) is None:
+            payload = self.cache.lookup(key)
+            if payload is None:
                 missing.append(form)
+            else:
+                payload_by_key[key] = payload
             # Duplicate submissions of the same orbit are answered from the
-            # cache below; count them as hits now.
+            # captured payloads below; count them as hits now.
         duplicate_count = len(forms) - len(first_form_by_key)
         self.cache.stats.hits += duplicate_count
 
-        self._classify_missing(missing)
+        payload_by_key.update(self._classify_missing(missing))
 
         items: List[BatchItem] = []
         fresh_keys = {form.key for form in missing}
         for form in forms:
-            payload = self.cache.peek(form.key)
-            assert payload is not None  # every key was just filled or present
             items.append(
                 self._item_from_payload(
-                    form, payload, from_cache=form.key not in fresh_keys
+                    form,
+                    payload_by_key[form.key],
+                    from_cache=form.key not in fresh_keys,
                 )
             )
             fresh_keys.discard(form.key)  # only the first occurrence is "fresh"
@@ -186,10 +192,17 @@ class BatchClassifier:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _classify_missing(self, missing: Sequence[CanonicalForm]) -> None:
-        """Classify every representative in ``missing`` and fill the cache."""
+    def _classify_missing(
+        self, missing: Sequence[CanonicalForm]
+    ) -> Dict[str, Dict[str, Any]]:
+        """Classify every representative in ``missing`` and fill the cache.
+
+        Returns the fresh payloads keyed by canonical key, so callers keep
+        their answers even if the cache evicts an entry straight away.
+        """
+        fresh: Dict[str, Dict[str, Any]] = {}
         if not missing:
-            return
+            return fresh
         self.stats.full_searches += len(missing)
         if self.processes and self.processes > 1 and len(missing) > 1:
             tasks: List[_WorkerTask] = [
@@ -200,7 +213,8 @@ class BatchClassifier:
                 with multiprocessing.Pool(self.processes) as pool:
                     for key, payload in pool.imap_unordered(_classify_worker, tasks):
                         self.cache.store(key, payload)
-                return
+                        fresh[key] = payload
+                return fresh
             except OSError:  # pragma: no cover - pool unavailable (sandboxing)
                 pass  # fall through to the serial path
         for form in missing:
@@ -208,6 +222,8 @@ class BatchClassifier:
                 (form.key, problem_to_dict(form.problem), dict(form.forward))
             )
             self.cache.store(key, payload)
+            fresh[key] = payload
+        return fresh
 
     def _classify_representative(self, form: CanonicalForm) -> Dict[str, Any]:
         """Classify a single representative and store its canonical result."""

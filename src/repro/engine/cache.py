@@ -1,4 +1,4 @@
-"""Classification cache keyed by canonical form, with hit/miss statistics.
+"""Classification cache keyed by canonical form, with LRU eviction and stats.
 
 The cache stores *serialized* classification results (see
 :mod:`repro.engine.serialization`) indexed by the canonical-form key of
@@ -9,30 +9,57 @@ label bijections.
 
 Two storage tiers are provided:
 
-* an always-on in-memory dictionary, and
+* an always-on in-memory mapping with least-recently-used (LRU) eviction
+  under an optional ``max_entries`` budget, and
 * an optional on-disk JSON file (``path=...``) so that expensive certificate
-  searches survive process restarts.  The on-disk format is a single JSON
-  object ``{"schema": 1, "entries": {key: result_dict}}``; it is loaded lazily
-  on construction and written back explicitly via :meth:`save` (or on every
-  store with ``autosave=True``).
+  searches survive process restarts.
+
+Eviction policy
+---------------
+When ``max_entries`` is set, the cache never holds more than that many
+entries: :meth:`store` (and :meth:`load`) evict the least recently *used*
+entries first.  "Used" means touched by :meth:`lookup` or :meth:`store`;
+:meth:`peek` deliberately refreshes neither the statistics nor the recency
+order.  Evictions are counted in :attr:`CacheStats.evictions`.  A cache with
+``max_entries=None`` (the default) grows without bound, matching the PR-1
+behavior.
+
+On-disk format — schema 2 upgrade note
+--------------------------------------
+Schema 2 (current) is a single JSON object::
+
+    {"schema": 2, "entries": [[key, result_dict], ...]}
+
+where ``entries`` is a *list of pairs* in LRU order, least recently used
+first, so that recency survives a save/load round trip.  Schema 1 (PR 1)
+stored ``{"schema": 1, "entries": {key: result_dict}}`` — an unordered,
+unbounded object.  :meth:`load` accepts **both** schemas: schema-1 files are
+read with their JSON object order standing in for recency, and any entries
+beyond the configured budget are evicted on load.  :meth:`save` always writes
+schema 2, so a bounded cache never persists more than ``max_entries`` entries;
+:meth:`compact` rewrites an oversized legacy file in place and reports the
+bytes reclaimed.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, Mapping, Optional
 
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of a :class:`ClassificationCache`."""
+    """Hit/miss/eviction counters of a :class:`ClassificationCache`."""
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     @property
     def total(self) -> int:
@@ -53,29 +80,38 @@ class CacheStats:
             "misses": self.misses,
             "total": self.total,
             "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
         }
 
 
 @dataclass
 class ClassificationCache:
-    """In-memory + optional on-disk store of serialized classification results.
+    """LRU-bounded in-memory + optional on-disk store of serialized results.
 
     Parameters
     ----------
     path:
         Optional JSON file backing the cache.  When given and the file exists,
-        its entries are loaded on construction.
+        its entries are loaded on construction (schema 1 or 2, see the module
+        docstring).
     autosave:
         When ``True`` (and ``path`` is set) every :meth:`store` immediately
         rewrites the backing file.  Defaults to ``False``; call :meth:`save`.
+    max_entries:
+        Optional LRU budget.  ``None`` (the default) means unbounded.  The
+        in-memory mapping never exceeds this many entries, and because
+        :meth:`save` snapshots that mapping, neither does the backing file.
     """
 
     path: Optional[str] = None
     autosave: bool = False
+    max_entries: Optional[int] = None
     stats: CacheStats = field(default_factory=CacheStats)
-    _entries: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    _entries: "OrderedDict[str, Dict[str, Any]]" = field(default_factory=OrderedDict)
 
     def __post_init__(self) -> None:
+        if self.max_entries is not None and self.max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {self.max_entries}")
         if self.path and os.path.exists(self.path):
             self.load()
 
@@ -83,23 +119,44 @@ class ClassificationCache:
     # Lookup / store
     # ------------------------------------------------------------------
     def lookup(self, key: str) -> Optional[Dict[str, Any]]:
-        """Return the stored result dict for ``key`` (counting a hit or miss)."""
+        """Return the stored result dict for ``key`` (counting a hit or miss).
+
+        A hit refreshes the entry's LRU recency.
+        """
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
             return None
+        self._entries.move_to_end(key)
         self.stats.hits += 1
         return entry
 
     def peek(self, key: str) -> Optional[Dict[str, Any]]:
-        """Like :meth:`lookup` but without touching the statistics."""
+        """Like :meth:`lookup` but touching neither statistics nor recency."""
         return self._entries.get(key)
 
     def store(self, key: str, result_payload: Mapping[str, Any]) -> None:
-        """Store a serialized result under ``key`` (overwriting any old entry)."""
+        """Store a serialized result under ``key`` (overwriting any old entry).
+
+        The entry becomes the most recently used; when the ``max_entries``
+        budget is exceeded, least recently used entries are evicted.
+        """
         self._entries[key] = dict(result_payload)
+        self._entries.move_to_end(key)
+        self._evict_over_budget()
         if self.autosave and self.path:
             self.save()
+
+    def _evict_over_budget(self) -> int:
+        """Drop least recently used entries until within budget; return count."""
+        if self.max_entries is None:
+            return 0
+        evicted = 0
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            evicted += 1
+        self.stats.evictions += evicted
+        return evicted
 
     def __contains__(self, key: str) -> bool:
         return key in self._entries
@@ -108,7 +165,7 @@ class ClassificationCache:
         return len(self._entries)
 
     def keys(self) -> Iterator[str]:
-        """Iterate over the stored canonical keys."""
+        """Iterate over the stored canonical keys, least recently used first."""
         return iter(self._entries)
 
     def clear(self) -> None:
@@ -116,7 +173,7 @@ class ClassificationCache:
         self._entries.clear()
 
     def reset_stats(self) -> None:
-        """Zero the hit/miss counters."""
+        """Zero the hit/miss/eviction counters."""
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -125,34 +182,85 @@ class ClassificationCache:
     def load(self) -> int:
         """(Re)load entries from :attr:`path`, merging over in-memory ones.
 
-        Returns the number of entries loaded.  Unknown schema versions are
-        rejected with :class:`ValueError` rather than silently misread.
+        Accepts schema 1 (PR-1 ``{key: entry}`` object) and schema 2 (LRU
+        ordered ``[[key, entry], ...]`` list); see the module docstring.
+        Loaded entries count as more recently used than existing in-memory
+        ones, and the ``max_entries`` budget is enforced afterwards.
+
+        Returns the number of entries loaded.  Unknown schema versions and
+        malformed entries are rejected with :class:`ValueError` rather than
+        silently misread.
         """
         if not self.path:
             raise ValueError("cache has no backing path")
         with open(self.path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
         schema = payload.get("schema")
-        if schema != CACHE_SCHEMA_VERSION:
+        if schema not in SUPPORTED_SCHEMA_VERSIONS:
             raise ValueError(
                 f"unsupported cache schema {schema!r} in {self.path}"
-                f" (expected {CACHE_SCHEMA_VERSION})"
+                f" (expected one of {SUPPORTED_SCHEMA_VERSIONS})"
             )
-        entries = payload.get("entries", {})
-        for key, entry in entries.items():
+        raw_entries = payload.get("entries", {} if schema == 1 else [])
+        if schema == 1:
+            if not isinstance(raw_entries, dict):
+                raise ValueError(f"malformed schema-1 entries in {self.path}")
+            pairs = list(raw_entries.items())
+        else:
+            if not isinstance(raw_entries, list):
+                raise ValueError(f"malformed schema-2 entries in {self.path}")
+            pairs = []
+            for pair in raw_entries:
+                if not (isinstance(pair, list) and len(pair) == 2):
+                    raise ValueError(f"malformed schema-2 entry pair in {self.path}")
+                pairs.append((pair[0], pair[1]))
+        for key, entry in pairs:
             if not isinstance(entry, dict) or "complexity" not in entry:
                 raise ValueError(f"malformed cache entry {key!r} in {self.path}")
-        self._entries.update(entries)
-        return len(entries)
+        for key, entry in pairs:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+        self._evict_over_budget()
+        return len(pairs)
 
     def save(self) -> None:
-        """Write every entry to :attr:`path` as a single JSON document."""
+        """Write every entry to :attr:`path` as a single schema-2 JSON document.
+
+        The write is atomic (temp file + ``os.replace``), and because the
+        in-memory mapping is LRU-bounded, the file never holds more than
+        ``max_entries`` entries.
+        """
         if not self.path:
             raise ValueError("cache has no backing path")
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
-        payload = {"schema": CACHE_SCHEMA_VERSION, "entries": self._entries}
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "entries": [[key, entry] for key, entry in self._entries.items()],
+        }
         tmp_path = f"{self.path}.tmp"
         with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=None, sort_keys=True)
         os.replace(tmp_path, self.path)
+
+    def compact(self) -> Dict[str, Any]:
+        """Rewrite the backing file from the (bounded) in-memory state.
+
+        This is the cheap maintenance pass for on-disk caches: opening an
+        unbounded schema-1 file with a ``max_entries`` budget trims it in
+        memory, and ``compact()`` then shrinks the file itself — one atomic
+        snapshot write, no entry-by-entry rewriting.  Returns a small report
+        with the entry count and the file size before/after (``bytes_before``
+        is 0 when the file did not exist yet).
+        """
+        if not self.path:
+            raise ValueError("cache has no backing path")
+        bytes_before = (
+            os.path.getsize(self.path) if os.path.exists(self.path) else 0
+        )
+        self.save()
+        return {
+            "entries": len(self._entries),
+            "bytes_before": bytes_before,
+            "bytes_after": os.path.getsize(self.path),
+        }

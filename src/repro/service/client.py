@@ -1,0 +1,268 @@
+"""Synchronous client for the classification service.
+
+:class:`ServiceClient` speaks the JSON-lines protocol of
+:mod:`repro.service.protocol` over either transport:
+
+* :meth:`ServiceClient.connect_tcp` — connect to a running
+  ``python -m repro serve --host ... --port ...`` (with optional connect
+  retries, so supervised services can be raced safely), or
+* :meth:`ServiceClient.spawn_stdio` — spawn a private
+  ``python -m repro serve --stdio`` subprocess and talk over its pipes,
+  which gives scripts a self-contained service whose cache file still
+  persists across spawns.
+
+The high-level methods (:meth:`classify`, :meth:`classify_batch`,
+:meth:`census`, :meth:`stats`, :meth:`shutdown`) hide the framing: streamed
+``item`` frames are surfaced through an optional ``on_item`` callback as they
+arrive — this is the client edge of the server's streaming design — and the
+terminal ``done``/``result`` payload is returned.  ``error`` frames raise
+:class:`ServiceError` carrying the server's machine-readable error code.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socket
+import subprocess
+import sys
+import time
+from typing import Any, Callable, Dict, IO, Iterator, List, Optional, Sequence
+
+from .protocol import (
+    Request,
+    decode_frame,
+    encode_frame,
+    is_terminal_frame,
+    problem_params,
+)
+
+
+class ServiceError(RuntimeError):
+    """An ``error`` frame from the service, or a broken connection."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """A synchronous JSON-lines client over a pair of text streams."""
+
+    def __init__(
+        self,
+        read_stream: IO[str],
+        write_stream: IO[str],
+        *,
+        process: Optional[subprocess.Popen] = None,
+        sock: Optional[socket.socket] = None,
+    ) -> None:
+        self._read = read_stream
+        self._write = write_stream
+        self._process = process
+        self._socket = sock
+        self._ids = itertools.count(1)
+        self.server_info = self._read_hello()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def connect_tcp(
+        cls,
+        host: str,
+        port: int,
+        retries: int = 0,
+        retry_delay: float = 0.25,
+    ) -> "ServiceClient":
+        """Connect to a TCP service, retrying ``retries`` times on refusal."""
+        attempt = 0
+        while True:
+            try:
+                sock = socket.create_connection((host, port))
+                break
+            except OSError:
+                attempt += 1
+                if attempt > retries:
+                    raise
+                time.sleep(retry_delay)
+        read_stream = sock.makefile("r", encoding="utf-8", newline="\n")
+        write_stream = sock.makefile("w", encoding="utf-8", newline="\n")
+        return cls(read_stream, write_stream, sock=sock)
+
+    @classmethod
+    def spawn_stdio(
+        cls,
+        *,
+        cache: Optional[str] = None,
+        cache_max_entries: Optional[int] = None,
+        python: str = sys.executable,
+    ) -> "ServiceClient":
+        """Spawn ``python -m repro serve --stdio`` and connect to its pipes.
+
+        The subprocess inherits the environment with ``PYTHONPATH`` extended
+        so the *current* ``repro`` package is importable even when it has not
+        been installed (the repo's ``src`` layout).
+        """
+        argv: List[str] = [python, "-m", "repro", "serve", "--stdio"]
+        if cache:
+            argv += ["--cache", cache]
+        if cache_max_entries is not None:
+            argv += ["--cache-max-entries", str(cache_max_entries)]
+        package_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing else f"{package_root}{os.pathsep}{existing}"
+        )
+        process = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            bufsize=1,
+            env=env,
+        )
+        assert process.stdout is not None and process.stdin is not None
+        return cls(process.stdout, process.stdin, process=process)
+
+    # ------------------------------------------------------------------
+    # Framing
+    # ------------------------------------------------------------------
+    def _read_hello(self) -> Dict[str, Any]:
+        frame = self._read_frame()
+        if frame.get("type") != "hello":
+            raise ServiceError(
+                "bad-hello", f"expected a hello frame, got {frame.get('type')!r}"
+            )
+        return frame
+
+    def _read_frame(self) -> Dict[str, Any]:
+        line = self._read.readline()
+        if not line:
+            raise ServiceError("connection-closed", "service closed the connection")
+        return decode_frame(line)
+
+    def _send_request(self, op: str, params: Optional[Dict[str, Any]] = None) -> Any:
+        request = Request(id=next(self._ids), op=op, params=params or {})
+        self._write.write(encode_frame(request.to_frame()))
+        self._write.flush()
+        return request.id
+
+    def frames(self, request_id: Any) -> Iterator[Dict[str, Any]]:
+        """Yield this request's frames, ending with its terminal frame."""
+        while True:
+            frame = self._read_frame()
+            if frame.get("id") != request_id:
+                continue  # stale frame of an abandoned request
+            yield frame
+            if is_terminal_frame(frame):
+                return
+
+    def request(
+        self,
+        op: str,
+        params: Optional[Dict[str, Any]] = None,
+        on_item: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Send one request; stream items to ``on_item``; return the terminal data.
+
+        Raises :class:`ServiceError` when the service answers with an error
+        frame.
+        """
+        request_id = self._send_request(op, params)
+        for frame in self.frames(request_id):
+            kind = frame.get("type")
+            if kind == "item":
+                if on_item is not None:
+                    on_item(frame["data"])
+            elif kind in ("done", "result"):
+                return frame.get("data", {})
+            elif kind == "error":
+                error = frame.get("error", {})
+                raise ServiceError(
+                    error.get("code", "unknown"), error.get("message", "")
+                )
+        raise ServiceError("connection-closed", "stream ended without a terminal frame")
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def classify(self, problem: Any) -> Dict[str, Any]:
+        """Classify one problem (text or serialized dict); return its payload."""
+        return self.request("classify", problem_params(problem))
+
+    def classify_batch(
+        self,
+        problems: Sequence[Any],
+        on_item: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Classify a batch, streaming per-item payloads to ``on_item``.
+
+        Returns the ``done`` summary (count, cache hits/misses, ``hit_rate``,
+        lifetime engine stats).  When ``on_item`` is omitted the collected
+        items are attached to the summary under ``"items"``.
+        """
+        collected: List[Dict[str, Any]] = []
+        callback = on_item if on_item is not None else collected.append
+        specs = [problem_params(problem)["problem"] for problem in problems]
+        summary = self.request("classify_batch", {"problems": specs}, callback)
+        if on_item is None:
+            summary["items"] = collected
+        return summary
+
+    def census(
+        self,
+        labels: int = 2,
+        delta: int = 2,
+        density: float = 0.5,
+        count: int = 100,
+        seed: int = 0,
+        on_item: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Run a server-side random census; return the tally summary."""
+        params = {
+            "labels": labels,
+            "delta": delta,
+            "density": density,
+            "count": count,
+            "seed": seed,
+        }
+        return self.request("census", params, on_item)
+
+    def stats(self) -> Dict[str, Any]:
+        """Service, cache, and batch counters of the running service."""
+        return self.request("stats")
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the service to persist its cache and exit."""
+        return self.request("shutdown")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close streams; wait for a spawned stdio service to exit."""
+        for stream in (self._write, self._read):
+            try:
+                stream.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:  # pragma: no cover
+                pass
+        if self._process is not None:
+            try:
+                self._process.wait(timeout=30)
+            except subprocess.TimeoutExpired:  # pragma: no cover - hung server
+                self._process.kill()
+                self._process.wait()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,481 @@
+"""The asyncio classification service: one shared cache, streaming responses.
+
+:class:`ClassificationService` wraps one :class:`~repro.engine.BatchClassifier`
+(and therefore one :class:`~repro.engine.cache.ClassificationCache`) behind
+the JSON-lines protocol of :mod:`repro.service.protocol`.  Two transports
+speak the identical protocol:
+
+* **stdio** (:meth:`ClassificationService.serve_stdio`) — one connection on
+  stdin/stdout, for supervisors and piping (``python -m repro serve --stdio``),
+* **TCP** (:meth:`ClassificationService.serve_tcp`) — any number of
+  concurrent connections on a listening socket.
+
+Batch and census requests *stream*: every classified problem is written as an
+``item`` frame the moment its certificate search (or cache hit) completes,
+followed by a terminal ``done`` frame with the request summary.  The
+exponential searches run on executor threads so the event loop stays
+responsive, and a process-wide work lock serializes engine access, making the
+shared cache safe under concurrent connections.  When the cache has a backing
+path it is persisted after every request that classified something new (the
+LRU budget keeps the file small; pure cache-hit requests skip the rewrite)
+and again on shutdown, so a killed service loses at most the request in
+flight.
+
+:class:`ThreadedService` runs the TCP variant on a background thread of the
+current process — the embedding used by ``tests/test_service.py`` and the
+warm-service benchmark in ``benchmarks/bench_random_census.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from typing import Any, Awaitable, Callable, Dict, IO, List, Optional, Tuple
+
+from ..core.parser import parse_problem
+from ..core.problem import LCLError, LCLProblem
+from ..engine.batch import BatchClassifier, BatchItem
+from ..engine.cache import ClassificationCache
+from ..engine.serialization import problem_from_dict, result_to_dict
+from ..problems.random_problems import random_problem
+from .protocol import (
+    ERROR_BAD_PROBLEM,
+    ERROR_BAD_REQUEST,
+    ERROR_INTERNAL,
+    ProtocolError,
+    Request,
+    decode_frame,
+    decode_request,
+    done_frame,
+    encode_frame,
+    error_frame,
+    hello_frame,
+    item_frame,
+    result_frame,
+)
+
+MAX_LINE_BYTES = 16 * 1024 * 1024
+"""Per-line read limit: batch requests serialize many problems on one line."""
+
+_SendFrame = Callable[[Dict[str, Any]], Awaitable[None]]
+
+
+def item_payload(item: BatchItem) -> Dict[str, Any]:
+    """The JSON-friendly ``data`` object of one classified problem."""
+    return {
+        "name": item.problem.name,
+        "complexity": item.result.complexity.value,
+        "details": item.result.describe(),
+        "from_cache": item.from_cache,
+        "canonical_key": item.canonical_key,
+        "result": result_to_dict(item.result),
+        "elapsed_ms": item.elapsed_seconds * 1000.0,
+    }
+
+
+class ClassificationService:
+    """A long-running classifier sharing one cache across all clients.
+
+    Parameters
+    ----------
+    cache:
+        The shared :class:`ClassificationCache`.  A fresh unbounded in-memory
+        cache is created when omitted.  Give it a ``path`` for persistence
+        and ``max_entries`` for an LRU budget.
+    """
+
+    def __init__(self, cache: Optional[ClassificationCache] = None) -> None:
+        self.cache = cache if cache is not None else ClassificationCache()
+        self.classifier = BatchClassifier(cache=self.cache)
+        self.requests_served = 0
+        self.started_at = time.monotonic()
+        # Serializes engine/cache access across executor threads: handlers of
+        # concurrent connections classify on threads, the engine is not
+        # thread-safe, and the certificate searches hold the GIL anyway.
+        self._work_lock = threading.Lock()
+        self._shutdown_event: Optional[asyncio.Event] = None
+        self._writers: List[asyncio.StreamWriter] = []
+        self._connection_tasks: "set" = set()
+        self.tcp_address: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Engine access
+    # ------------------------------------------------------------------
+    async def _classify(self, problem: LCLProblem) -> BatchItem:
+        """Classify one problem off the event loop, under the work lock."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._classify_sync, problem)
+
+    def _classify_sync(self, problem: LCLProblem) -> BatchItem:
+        with self._work_lock:
+            return self.classifier.classify_item(problem)
+
+    def _resolve_problem(self, spec: Any, default_name: str) -> LCLProblem:
+        """Turn a request's problem spec (text or dict) into an `LCLProblem`."""
+        try:
+            if isinstance(spec, str):
+                return parse_problem(spec, name=default_name)
+            if isinstance(spec, dict):
+                return problem_from_dict(spec)
+        except (LCLError, ValueError, KeyError, TypeError) as error:
+            raise ProtocolError(ERROR_BAD_PROBLEM, f"bad problem: {error}") from error
+        raise ProtocolError(
+            ERROR_BAD_PROBLEM,
+            "a problem must be paper-notation text or a serialized problem object",
+        )
+
+    def _save_cache(self) -> bool:
+        """Persist the shared cache when it has a backing path."""
+        if not self.cache.path:
+            return False
+        with self._work_lock:
+            self.cache.save()
+        return True
+
+    # ------------------------------------------------------------------
+    # Operation handlers
+    # ------------------------------------------------------------------
+    async def _handle_classify(self, request: Request, send: _SendFrame) -> None:
+        spec = request.params.get("problem")
+        if spec is None:
+            raise ProtocolError(ERROR_BAD_REQUEST, "classify requires params.problem")
+        problem = self._resolve_problem(spec, default_name="<request>")
+        item = await self._classify(problem)
+        await send(result_frame(request.id, item_payload(item)))
+        if not item.from_cache:  # a hit adds nothing worth rewriting the file for
+            self._save_cache()
+
+    async def _stream_items(
+        self, request: Request, problems: List[LCLProblem], send: _SendFrame
+    ) -> Dict[str, Any]:
+        """Stream one ``item`` frame per problem; return the hit/miss summary."""
+        hits = 0
+        for seq, problem in enumerate(problems):
+            item = await self._classify(problem)
+            hits += int(item.from_cache)
+            await send(item_frame(request.id, seq, item_payload(item)))
+        count = len(problems)
+        return {
+            "count": count,
+            "cache_hits": hits,
+            "cache_misses": count - hits,
+            "hit_rate": hits / count if count else 0.0,
+        }
+
+    async def _handle_classify_batch(self, request: Request, send: _SendFrame) -> None:
+        specs = request.params.get("problems")
+        if not isinstance(specs, list) or not specs:
+            raise ProtocolError(
+                ERROR_BAD_REQUEST,
+                "classify_batch requires params.problems: a non-empty list",
+            )
+        # Resolve everything up front so malformed input yields one error
+        # frame instead of a half-finished stream.
+        problems = [
+            self._resolve_problem(spec, default_name=f"<request>#{index + 1}")
+            for index, spec in enumerate(specs)
+        ]
+        summary = await self._stream_items(request, problems, send)
+        summary["stats"] = self.classifier.stats_report()
+        await send(done_frame(request.id, summary))
+        if summary["cache_misses"]:
+            self._save_cache()
+
+    async def _handle_census(self, request: Request, send: _SendFrame) -> None:
+        params = request.params
+        try:
+            labels = int(params.get("labels", 2))
+            delta = int(params.get("delta", 2))
+            density = float(params.get("density", 0.5))
+            count = int(params.get("count", 100))
+            seed = int(params.get("seed", 0))
+        except (TypeError, ValueError) as error:
+            raise ProtocolError(
+                ERROR_BAD_REQUEST, f"bad census parameter: {error}"
+            ) from error
+        if count < 1:
+            raise ProtocolError(ERROR_BAD_REQUEST, "census requires count >= 1")
+        problems = [
+            random_problem(labels, delta=delta, density=density, seed=seed + index)
+            for index in range(count)
+        ]
+        counts: Dict[str, int] = {}
+
+        async def send_and_tally(frame: Dict[str, Any]) -> None:
+            value = frame["data"]["complexity"]
+            counts[value] = counts.get(value, 0) + 1
+            await send(frame)
+
+        summary = await self._stream_items(request, problems, send_and_tally)
+        summary["counts"] = counts
+        summary["params"] = {
+            "labels": labels,
+            "delta": delta,
+            "density": density,
+            "count": count,
+            "seed": seed,
+        }
+        summary["stats"] = self.classifier.stats_report()
+        await send(done_frame(request.id, summary))
+        if summary["cache_misses"]:
+            self._save_cache()
+
+    async def _handle_stats(self, request: Request, send: _SendFrame) -> None:
+        await send(result_frame(request.id, self.stats_payload()))
+
+    def stats_payload(self) -> Dict[str, Any]:
+        """The ``stats`` response: service, cache, and batch counters."""
+        return {
+            "service": {
+                "requests_served": self.requests_served,
+                "uptime_seconds": time.monotonic() - self.started_at,
+            },
+            "cache": {
+                "entries": len(self.cache),
+                "max_entries": self.cache.max_entries,
+                "path": self.cache.path,
+                **self.cache.stats.as_dict(),
+            },
+            "batch": self.classifier.stats.as_dict(),
+        }
+
+    async def _handle_shutdown(self, request: Request, send: _SendFrame) -> None:
+        saved = self._save_cache()
+        await send(result_frame(request.id, {"ok": True, "cache_saved": saved}))
+        self.request_shutdown()
+
+    _HANDLERS = {
+        "classify": _handle_classify,
+        "classify_batch": _handle_classify_batch,
+        "census": _handle_census,
+        "stats": _handle_stats,
+        "shutdown": _handle_shutdown,
+    }
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to stop (safe to call from the event loop)."""
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    @property
+    def shutting_down(self) -> bool:
+        return self._shutdown_event is not None and self._shutdown_event.is_set()
+
+    # ------------------------------------------------------------------
+    # Connection loop (transport-independent)
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self,
+        readline: Callable[[], Awaitable[bytes]],
+        send: _SendFrame,
+    ) -> None:
+        """Speak the protocol on one connection until EOF or shutdown."""
+        await send(hello_frame())
+        while not self.shutting_down:
+            try:
+                raw = await readline()
+            except (asyncio.IncompleteReadError, ConnectionError):
+                break
+            if not raw:
+                break  # EOF: client went away
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            await self._dispatch_line(line, send)
+
+    async def _dispatch_line(self, line: str, send: _SendFrame) -> None:
+        """Validate and execute one request line, answering on ``send``."""
+        try:
+            request = decode_request(line)
+        except ProtocolError as error:
+            await send(error_frame(_best_effort_id(line), error))
+            return
+        self.requests_served += 1
+        handler = self._HANDLERS[request.op]
+        try:
+            await handler(self, request, send)
+        except ProtocolError as error:
+            await send(error_frame(request.id, error))
+        except Exception as error:  # noqa: BLE001 - protocol boundary
+            await send(
+                error_frame(
+                    request.id,
+                    ProtocolError(ERROR_INTERNAL, f"{type(error).__name__}: {error}"),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Transports
+    # ------------------------------------------------------------------
+    async def serve_stdio(
+        self,
+        stdin: Optional[IO[str]] = None,
+        stdout: Optional[IO[str]] = None,
+    ) -> None:
+        """Serve one connection on text streams (default: ``sys.stdin/out``).
+
+        Lines are read on executor threads, which works for pipes, terminals
+        and regular files alike; writes flush per frame so clients see items
+        as they stream.
+        """
+        import sys
+
+        in_stream = stdin if stdin is not None else sys.stdin
+        out_stream = stdout if stdout is not None else sys.stdout
+        loop = asyncio.get_running_loop()
+        self._shutdown_event = asyncio.Event()
+
+        async def readline() -> bytes:
+            line = await loop.run_in_executor(None, in_stream.readline)
+            return line.encode("utf-8")
+
+        async def send(frame: Dict[str, Any]) -> None:
+            out_stream.write(encode_frame(frame))
+            out_stream.flush()
+
+        try:
+            await self._serve_connection(readline, send)
+        finally:
+            self._save_cache()
+
+    async def serve_tcp(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ready_callback: Optional[Callable[[Tuple[str, int]], None]] = None,
+    ) -> None:
+        """Serve concurrent connections on ``host:port`` until shutdown.
+
+        ``port=0`` binds an ephemeral port; the actual address is stored in
+        :attr:`tcp_address` and passed to ``ready_callback`` once listening.
+        """
+        self._shutdown_event = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_tcp_connection, host, port, limit=MAX_LINE_BYTES
+        )
+        sockname = server.sockets[0].getsockname()
+        self.tcp_address = (sockname[0], sockname[1])
+        if ready_callback is not None:
+            ready_callback(self.tcp_address)
+        try:
+            await self._shutdown_event.wait()
+        finally:
+            self._save_cache()
+            # Close lingering connections *before* waiting on the server:
+            # idle handlers sit in readline() and only finish once their
+            # transport closes underneath them.  Then give the handler tasks
+            # a moment to observe EOF and unwind, so loop teardown does not
+            # cancel them mid-read (which logs spurious tracebacks).
+            for writer in list(self._writers):
+                writer.close()
+            if self._connection_tasks:
+                await asyncio.wait(set(self._connection_tasks), timeout=5)
+            server.close()
+            with contextlib.suppress(Exception):
+                await server.wait_closed()
+
+    async def _handle_tcp_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.append(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+            task.add_done_callback(self._connection_tasks.discard)
+
+        async def send(frame: Dict[str, Any]) -> None:
+            writer.write(encode_frame(frame).encode("utf-8"))
+            await writer.drain()
+
+        try:
+            await self._serve_connection(reader.readline, send)
+        except (ConnectionError, ValueError):
+            # Client vanished, or sent a line over MAX_LINE_BYTES —
+            # StreamReader.readline surfaces the overrun as ValueError.
+            pass
+        finally:
+            self._writers.remove(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+
+class ThreadedService:
+    """A live TCP :class:`ClassificationService` on a background thread.
+
+    Intended for embedding in tests, benchmarks, and notebooks::
+
+        with ThreadedService(cache=ClassificationCache(path=...)) as address:
+            client = ServiceClient.connect_tcp(*address)
+
+    The context manager starts the event loop thread, yields the bound
+    ``(host, port)`` address, and shuts the service down on exit.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ClassificationCache] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = ClassificationService(cache=cache)
+        self._host = host
+        self._port = port
+        self._ready = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.address: Optional[Tuple[str, int]] = None
+
+    def start(self) -> Tuple[str, int]:
+        """Start serving; block until the socket is bound; return the address."""
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service failed to start within 30s")
+        assert self.address is not None
+        return self.address
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+
+            def on_ready(address: Tuple[str, int]) -> None:
+                self.address = address
+                self._ready.set()
+
+            await self.service.serve_tcp(self._host, self._port, on_ready)
+
+        try:
+            asyncio.run(main())
+        finally:
+            self._ready.set()  # unblock start() even if binding failed
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Request shutdown and join the event loop thread."""
+        if self._thread is None:
+            return
+        if self._loop is not None and not self._loop.is_closed():
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self.service.request_shutdown)
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def _best_effort_id(line: str) -> Any:
+    """Extract the request id from a malformed request line, if any."""
+    try:
+        frame = decode_frame(line)
+    except ProtocolError:
+        return None
+    request_id = frame.get("id")
+    return request_id if isinstance(request_id, (str, int)) else None

@@ -119,3 +119,88 @@ def test_census_plain_output(capsys):
     output = capsys.readouterr().out
     assert "Random census" in output
     assert "full search(es)" in output
+
+
+def test_cache_max_entries_bounds_the_cache_file(tmp_path, capsys):
+    cache_file = tmp_path / "cache.json"
+    assert (
+        main(
+            [
+                "census",
+                "--labels",
+                "3",
+                "--density",
+                "0.25",
+                "--count",
+                "30",
+                "--json",
+                "--cache",
+                str(cache_file),
+                "--cache-max-entries",
+                "3",
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["stats"]["cache"]["evictions"] > 0
+    on_disk = json.loads(cache_file.read_text())
+    assert on_disk["schema"] == 2
+    assert len(on_disk["entries"]) <= 3
+
+
+def test_serve_and_client_parser_wiring():
+    parser = build_parser()
+    serve_args = parser.parse_args(
+        ["serve", "--stdio", "--cache", "c.json", "--cache-max-entries", "10"]
+    )
+    assert serve_args.stdio is True
+    assert serve_args.cache_max_entries == 10
+
+    client_args = parser.parse_args(
+        ["client", "--connect", "localhost:8765", "census", "--count", "5"]
+    )
+    assert client_args.connect == "localhost:8765"
+    assert client_args.count == 5
+
+    with pytest.raises(SystemExit):
+        parser.parse_args(["client", "census"])  # --connect is required
+
+
+def test_serve_and_client_over_tcp(tmp_path, capsys):
+    """Full CLI round trip: an embedded service, driven via `main(["client", ...])`."""
+    from repro.engine.cache import ClassificationCache
+    from repro.service.server import ThreadedService
+
+    cache_file = tmp_path / "cache.json"
+    service = ThreadedService(cache=ClassificationCache(path=str(cache_file)))
+    host, port = service.start()
+    try:
+        problem_file = tmp_path / "problem.txt"
+        problem_file.write_text("1 : 2 2\n2 : 1 1\n")
+        connect = f"{host}:{port}"
+
+        assert main(["client", "--connect", connect, "classify", str(problem_file)]) == 0
+        first = capsys.readouterr().out
+        assert "n^Theta(1)" in first and "cached:     no" in first
+
+        assert (
+            main(["client", "--connect", connect, "classify", "--json", str(problem_file)])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["from_cache"] is True
+
+        assert main(["client", "--connect", connect, "stats"]) == 0
+        plain_stats = capsys.readouterr().out
+        assert "1 entries" in plain_stats and "engine:" in plain_stats
+
+        assert main(["client", "--connect", connect, "stats", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["cache"]["entries"] == 1
+
+        assert main(["client", "--connect", connect, "shutdown"]) == 0
+        assert "service shut down" in capsys.readouterr().out
+    finally:
+        service.stop()
+    assert cache_file.exists()

@@ -162,6 +162,132 @@ class TestClassificationCache:
 
 
 # ----------------------------------------------------------------------
+# Cache eviction (LRU, max_entries budget, compaction)
+# ----------------------------------------------------------------------
+class TestCacheEviction:
+    @staticmethod
+    def _entry(tag):
+        return {"complexity": "CONSTANT", "tag": tag}
+
+    def test_budget_is_never_exceeded_in_memory(self):
+        cache = ClassificationCache(max_entries=3)
+        for index in range(10):
+            cache.store(f"k{index}", self._entry(index))
+            assert len(cache) <= 3
+        assert cache.stats.evictions == 7
+        assert list(cache.keys()) == ["k7", "k8", "k9"]
+
+    def test_lookup_refreshes_lru_order(self):
+        cache = ClassificationCache(max_entries=3)
+        for key in ("a", "b", "c"):
+            cache.store(key, self._entry(key))
+        assert cache.lookup("a") is not None  # refresh: "b" is now oldest
+        cache.store("d", self._entry("d"))
+        assert "b" not in cache
+        assert set(cache.keys()) == {"a", "c", "d"}
+
+    def test_peek_does_not_refresh_lru_order(self):
+        cache = ClassificationCache(max_entries=2)
+        cache.store("a", self._entry("a"))
+        cache.store("b", self._entry("b"))
+        assert cache.peek("a") is not None  # no refresh: "a" stays oldest
+        cache.store("c", self._entry("c"))
+        assert "a" not in cache
+        assert set(cache.keys()) == {"b", "c"}
+
+    def test_restore_refreshes_recency(self):
+        cache = ClassificationCache(max_entries=2)
+        cache.store("a", self._entry("a"))
+        cache.store("b", self._entry("b"))
+        cache.store("a", self._entry("a2"))  # overwrite refreshes recency
+        cache.store("c", self._entry("c"))
+        assert "b" not in cache
+        assert cache.peek("a") == self._entry("a2")
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ClassificationCache(max_entries=0)
+
+    def test_max_entries_holds_on_disk_too(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ClassificationCache(path=str(path), max_entries=3)
+        for index in range(10):
+            cache.store(f"k{index}", self._entry(index))
+        cache.save()
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 2
+        assert len(payload["entries"]) == 3
+
+    def test_lru_order_survives_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ClassificationCache(path=str(path), max_entries=3)
+        for key in ("a", "b", "c"):
+            cache.store(key, self._entry(key))
+        cache.lookup("a")  # order on disk becomes b, c, a
+        cache.save()
+
+        reloaded = ClassificationCache(path=str(path), max_entries=3)
+        assert list(reloaded.keys()) == ["b", "c", "a"]
+        reloaded.store("d", self._entry("d"))  # "b" is still the LRU entry
+        assert "b" not in reloaded
+
+    def test_loads_legacy_schema_1_files(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(
+            json.dumps(
+                {"schema": 1, "entries": {f"k{i}": self._entry(i) for i in range(5)}}
+            )
+        )
+        unbounded = ClassificationCache(path=str(path))
+        assert len(unbounded) == 5
+
+        bounded = ClassificationCache(path=str(path), max_entries=2)
+        assert len(bounded) == 2
+        assert bounded.stats.evictions == 3
+
+    def test_compaction_round_trip_shrinks_legacy_files(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(
+            json.dumps(
+                {"schema": 1, "entries": {f"k{i}": self._entry(i) for i in range(50)}}
+            )
+        )
+        bytes_before = path.stat().st_size
+
+        cache = ClassificationCache(path=str(path), max_entries=5)
+        report = cache.compact()
+        assert report["entries"] == 5
+        assert report["bytes_before"] == bytes_before
+        assert report["bytes_after"] < bytes_before
+
+        reloaded = ClassificationCache(path=str(path))
+        assert len(reloaded) == 5
+        assert json.loads(path.read_text())["schema"] == 2
+
+    def test_rejects_malformed_schema_2_entries(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"schema": 2, "entries": [["k", {}, "extra"]]}))
+        with pytest.raises(ValueError):
+            ClassificationCache(path=str(path))
+
+    def test_stats_report_includes_evictions(self):
+        cache = ClassificationCache(max_entries=1)
+        cache.store("a", self._entry("a"))
+        cache.store("b", self._entry("b"))
+        assert cache.stats.as_dict()["evictions"] == 1
+
+    def test_bounded_cache_still_answers_whole_batch(self):
+        """A budget smaller than the batch's distinct orbits loses no answers."""
+        problems = [random_problem(2, density=0.5, seed=seed) for seed in range(40)]
+        bounded = BatchClassifier(cache=ClassificationCache(max_entries=2))
+        items = bounded.classify_many(problems)
+        assert len(bounded.cache) <= 2
+        assert [item.result.complexity for item in items] == [
+            classify(problem).complexity for problem in problems
+        ]
+
+
+# ----------------------------------------------------------------------
 # BatchClassifier
 # ----------------------------------------------------------------------
 class TestBatchClassifier:

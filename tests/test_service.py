@@ -1,0 +1,241 @@
+"""Tests for the classification service: protocol, server, client, streaming."""
+
+import json
+
+import pytest
+
+from repro.core import classify
+from repro.engine import ClassificationCache, problem_to_dict
+from repro.problems import catalog
+from repro.problems.random_problems import random_problem
+from repro.service import ServiceClient, ServiceError, ThreadedService
+from repro.service.protocol import (
+    ERROR_BAD_REQUEST,
+    ERROR_PARSE,
+    ERROR_UNKNOWN_OP,
+    ProtocolError,
+    decode_request,
+    done_frame,
+    encode_frame,
+    error_frame,
+    hello_frame,
+    is_terminal_frame,
+    item_frame,
+    result_frame,
+)
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_request_round_trip(self):
+        line = encode_frame(
+            {"id": 7, "op": "classify", "params": {"problem": "1 : 1 1"}}
+        )
+        request = decode_request(line)
+        assert request.id == 7
+        assert request.op == "classify"
+        assert request.params == {"problem": "1 : 1 1"}
+
+    def test_frames_are_single_lines(self):
+        frames = [
+            hello_frame(),
+            item_frame(1, 0, {"complexity": "O(1)"}),
+            done_frame(1, {"count": 1}),
+            result_frame(2, {"ok": True}),
+            error_frame(3, ProtocolError(ERROR_BAD_REQUEST, "nope")),
+        ]
+        for frame in frames:
+            wire = encode_frame(frame)
+            assert wire.endswith("\n") and "\n" not in wire[:-1]
+            assert json.loads(wire) == frame
+
+    def test_decode_request_rejects_garbage(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request("not json at all\n")
+        assert excinfo.value.code == ERROR_PARSE
+
+    def test_decode_request_rejects_unknown_op(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request('{"id": 1, "op": "fly"}')
+        assert excinfo.value.code == ERROR_UNKNOWN_OP
+
+    def test_decode_request_rejects_bad_fields(self):
+        for line in (
+            '{"id": 1}',  # missing op
+            '{"op": 42}',  # non-string op
+            '{"op": "stats", "params": []}',  # non-object params
+            '{"op": "stats", "id": [1]}',  # non-scalar id
+        ):
+            with pytest.raises(ProtocolError):
+                decode_request(line)
+
+    def test_terminal_frames(self):
+        assert is_terminal_frame(done_frame(1, {}))
+        assert is_terminal_frame(result_frame(1, {}))
+        assert is_terminal_frame(error_frame(1, ProtocolError("x", "y")))
+        assert not is_terminal_frame(hello_frame())
+        assert not is_terminal_frame(item_frame(1, 0, {}))
+
+
+# ----------------------------------------------------------------------
+# TCP end-to-end
+# ----------------------------------------------------------------------
+def _batch_specs(count=24, labels=2, density=0.5):
+    problems = [
+        random_problem(labels, density=density, seed=seed) for seed in range(count)
+    ]
+    return problems, [problem_to_dict(problem) for problem in problems]
+
+
+class TestServiceOverTcp:
+    def test_classify_round_trip(self):
+        problem, expected = catalog()["mis"]
+        with ThreadedService() as address:
+            with ServiceClient.connect_tcp(*address) as client:
+                payload = client.classify(problem_to_dict(problem))
+        assert payload["complexity"] == expected.value
+        assert payload["from_cache"] is False
+        assert payload["result"]["complexity"] == expected.name
+
+    def test_text_problem_specs_are_parsed_server_side(self):
+        with ThreadedService() as address:
+            with ServiceClient.connect_tcp(*address) as client:
+                payload = client.classify("1 : 2 2\n2 : 1 1")
+        assert payload["complexity"] == "n^Theta(1)"
+
+    def test_batch_streams_items_in_order_before_done(self):
+        problems, specs = _batch_specs(count=10)
+        with ThreadedService() as address:
+            with ServiceClient.connect_tcp(*address) as client:
+                request_id = client._send_request("classify_batch", {"problems": specs})
+                frames = list(client.frames(request_id))
+        kinds = [frame["type"] for frame in frames]
+        assert kinds == ["item"] * 10 + ["done"]
+        assert [frame["seq"] for frame in frames[:-1]] == list(range(10))
+        # Streamed results agree with direct classification.
+        assert [frame["data"]["complexity"] for frame in frames[:-1]] == [
+            classify(problem).complexity.value for problem in problems
+        ]
+
+    def test_sequential_clients_share_the_persistent_cache(self, tmp_path):
+        """Acceptance: the second client's batch reports a hit rate > 0.9."""
+        path = tmp_path / "service-cache.json"
+        _problems, specs = _batch_specs(count=24)
+        with ThreadedService(cache=ClassificationCache(path=str(path))) as address:
+            with ServiceClient.connect_tcp(*address) as first:
+                cold = first.classify_batch(specs)
+            with ServiceClient.connect_tcp(*address) as second:
+                warm = second.classify_batch(specs)
+        assert cold["count"] == warm["count"] == 24
+        assert cold["cache_misses"] > 0
+        assert warm["hit_rate"] > 0.9
+        assert [item["complexity"] for item in cold["items"]] == [
+            item["complexity"] for item in warm["items"]
+        ]
+        # The shared cache survived on disk as a schema-2 document.
+        assert json.loads(path.read_text())["schema"] == 2
+
+    def test_bounded_service_cache_never_exceeds_budget(self, tmp_path):
+        """Acceptance: max_entries=N holds in memory and on disk."""
+        budget = 4
+        path = tmp_path / "bounded.json"
+        _problems, specs = _batch_specs(count=30, labels=3, density=0.25)
+        cache = ClassificationCache(path=str(path), max_entries=budget)
+        service = ThreadedService(cache=cache)
+        with service as address:
+            with ServiceClient.connect_tcp(*address) as client:
+                client.classify_batch(specs)
+                stats = client.stats()
+                client.shutdown()
+        assert stats["cache"]["entries"] <= budget
+        assert stats["cache"]["max_entries"] == budget
+        assert len(cache) <= budget
+        assert len(json.loads(path.read_text())["entries"]) <= budget
+
+    def test_census_summary_tallies_every_item(self):
+        with ThreadedService() as address:
+            with ServiceClient.connect_tcp(*address) as client:
+                streamed = []
+                summary = client.census(
+                    labels=2, count=15, seed=3, on_item=streamed.append
+                )
+        assert summary["count"] == 15
+        assert sum(summary["counts"].values()) == 15
+        assert len(streamed) == 15
+        assert summary["params"]["labels"] == 2
+
+    def test_stats_and_request_accounting(self):
+        with ThreadedService() as address:
+            with ServiceClient.connect_tcp(*address) as client:
+                client.classify("1 : 1 1")
+                payload = client.stats()
+        assert payload["service"]["requests_served"] == 2  # classify + stats
+        assert payload["batch"]["submitted"] == 1
+        assert payload["cache"]["entries"] == 1
+
+    def test_error_frames_for_bad_requests(self):
+        with ThreadedService() as address:
+            with ServiceClient.connect_tcp(*address) as client:
+                with pytest.raises(ServiceError) as bad_problem:
+                    client.classify("this is : not a problem : at all :::")
+                assert bad_problem.value.code == "bad-problem"
+                with pytest.raises(ServiceError) as bad_request:
+                    client.request("classify_batch", {"problems": []})
+                assert bad_request.value.code == "bad-request"
+                # The connection survives errors and keeps serving.
+                assert client.classify("1 : 1 1")["complexity"] == "O(1)"
+
+    def test_malformed_line_gets_structured_error(self):
+        with ThreadedService() as address:
+            with ServiceClient.connect_tcp(*address) as client:
+                client._write.write("this is not json\n")
+                client._write.flush()
+                frame = client._read_frame()
+        assert frame["type"] == "error"
+        assert frame["error"]["code"] == ERROR_PARSE
+
+    def test_shutdown_stops_the_service(self, tmp_path):
+        path = tmp_path / "cache.json"
+        service = ThreadedService(cache=ClassificationCache(path=str(path)))
+        address = service.start()
+        with ServiceClient.connect_tcp(*address) as client:
+            client.classify("1 : 1 1")
+            payload = client.shutdown()
+        assert payload == {"ok": True, "cache_saved": True}
+        service._thread.join(timeout=30)
+        assert not service._thread.is_alive()
+        assert path.exists()
+        service.stop()
+
+
+# ----------------------------------------------------------------------
+# Stdio end-to-end
+# ----------------------------------------------------------------------
+class TestServiceOverStdio:
+    def test_spawned_stdio_service_round_trip(self, tmp_path):
+        path = tmp_path / "stdio-cache.json"
+        with ServiceClient.spawn_stdio(cache=str(path)) as client:
+            assert client.server_info["protocol"] == 1
+            fresh = client.classify("1 : 2 2\n2 : 1 1")
+            cached = client.classify("1 : 2 2\n2 : 1 1")
+            summary = client.classify_batch(["1 : 1 1", "1 : 2 2\n2 : 1 1"])
+            assert client.shutdown()["ok"] is True
+        assert fresh["from_cache"] is False
+        assert cached["from_cache"] is True
+        assert summary["cache_hits"] == 1  # second block hits the cache
+        assert path.exists()
+
+    def test_stdio_cache_persists_across_spawns(self, tmp_path):
+        """Two stdio service processes share one persistent cache file."""
+        path = tmp_path / "stdio-cache.json"
+        with ServiceClient.spawn_stdio(cache=str(path)) as first:
+            cold = first.classify("1 : 2 2\n2 : 1 1")
+            first.shutdown()
+        with ServiceClient.spawn_stdio(cache=str(path)) as second:
+            warm = second.classify("1 : 2 2\n2 : 1 1")
+            second.shutdown()
+        assert cold["from_cache"] is False
+        assert warm["from_cache"] is True
+        assert warm["complexity"] == cold["complexity"]
