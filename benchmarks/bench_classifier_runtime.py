@@ -9,9 +9,13 @@ milliseconds per problem on a laptop-scale machine — is what is checked.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.core import classify
+from repro.engine import BatchClassifier
+from repro.workers import ClassificationScheduler, create_backend
 from repro.problems import (
     branch_two_coloring,
     figure2_combined_problem,
@@ -52,3 +56,61 @@ def test_random_problem_throughput(benchmark):
 
     classes = benchmark(classify_batch)
     assert len(classes) == len(problems)
+
+
+@pytest.mark.parametrize("backend_name", ["inline", "threads", "processes"])
+def test_worker_backend_throughput(benchmark, backend_name):
+    """Cold-batch throughput per worker backend (2 workers).
+
+    ``inline`` is the serial baseline; ``threads`` shows the cost/benefit of
+    GIL-interleaved concurrency on a pure-Python workload; ``processes``
+    shows what real parallelism buys.  The pool is spawned once *outside*
+    the measured rounds (each round gets a fresh cache/scheduler on the
+    shared backend), so the per-backend means compare search execution, not
+    pool lifecycle cost.
+    """
+    problems = [random_problem(3, density=0.4, seed=seed) for seed in range(25)]
+    backend = create_backend(backend_name, workers=2)
+    backend.probe()
+
+    def cold_batch():
+        scheduler = ClassificationScheduler(backend=backend)
+        return BatchClassifier(scheduler=scheduler).classify_many(problems)
+
+    try:
+        items = benchmark(cold_batch)
+    finally:
+        backend.close()
+    assert [item.result.complexity for item in items] == [
+        classify(problem).complexity for problem in problems
+    ]
+
+
+def test_warm_cache_latency(benchmark):
+    """A fully warmed classifier answers a batch with zero searches.
+
+    Measures the translate-and-relabel overhead that remains after the
+    scheduler has eliminated every certificate search — the latency floor of
+    a warmed service.
+    """
+    problems = [random_problem(3, density=0.4, seed=seed) for seed in range(25)]
+    classifier = BatchClassifier()
+    cold_start = time.perf_counter()
+    classifier.classify_many(problems)
+    cold_seconds = time.perf_counter() - cold_start
+
+    durations = []
+
+    def warm_batch():
+        round_start = time.perf_counter()
+        items = classifier.classify_many(problems)
+        durations.append(time.perf_counter() - round_start)
+        return items
+
+    warm_items = benchmark(warm_batch)
+    assert all(item.from_cache for item in warm_items)
+    warm_seconds = min(durations)
+    print(
+        f"\nWarm-cache floor: cold {cold_seconds * 1000:.2f} ms, "
+        f"warm {warm_seconds * 1000:.2f} ms per 25-problem batch"
+    )

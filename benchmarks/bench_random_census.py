@@ -16,10 +16,18 @@ The warm-service benchmark additionally routes the census through a live
 :class:`repro.service.ThreadedService`: the first client run fills the
 service's persistent cache, and the benchmarked second run is answered almost
 entirely from it — the cross-run reuse that a one-shot process cannot offer.
+
+Two worker-subsystem benchmarks ride along: the *parallel census* compares a
+cold census on the serial ``inline`` backend against ``--worker-backend
+processes`` (the ≥2x speedup target of the workers PR, asserted when the host
+actually has the cores for it), and the *warm-vs-cold* benchmark measures how
+much of a census's wall-clock the ``warm`` protocol operation can hide by
+pre-populating the service cache before the census request arrives.
 """
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 
 import pytest
@@ -28,6 +36,7 @@ from repro.core import ComplexityClass, classify
 from repro.engine import BatchClassifier, ClassificationCache
 from repro.problems.random_problems import random_problem
 from repro.service import ServiceClient, ThreadedService
+from repro.workers import ClassificationScheduler, ProcessBackend, usable_cpus
 
 
 def _draws(num_labels: int, density: float, count: int):
@@ -122,4 +131,104 @@ def test_warm_service_census(benchmark, tmp_path):
     print(
         f"\nWarm-service census: cold hit rate {cold['hit_rate']:.0%}, "
         f"warm hit rate {warm['hit_rate']:.0%} over {warm['count']} problems"
+    )
+
+
+def test_parallel_census_speedup(benchmark):
+    """Cold census on the processes backend vs. the serial inline path.
+
+    The acceptance target of the workers PR is a >=2x cold-census speedup
+    with ``--worker-backend processes --workers 4``; that requires actual
+    cores, so the hard assertion is gated on ``usable_cpus() >= 4`` (which,
+    unlike ``os.cpu_count()``, respects container quotas and affinity
+    masks; the numbers are printed either way).  Correctness — identical
+    per-problem results from both backends — is asserted unconditionally.
+    """
+    problems = [random_problem(3, density=0.25, seed=seed) for seed in range(48)]
+
+    start = time.perf_counter()
+    with BatchClassifier(backend="inline") as serial:
+        serial_items = serial.classify_many(problems)
+    serial_seconds = time.perf_counter() - start
+    searches = serial.stats.full_searches
+
+    # One pool for every round, spawned (and import-warmed) before timing:
+    # the rounds should measure search parallelism, not interpreter startup.
+    backend = ProcessBackend(workers=4)
+    for future in [backend.submit(time.sleep, 0.01) for _ in range(4)]:
+        future.result(timeout=120)
+    durations = []
+
+    def parallel_census():
+        round_start = time.perf_counter()
+        # Fresh cache + scheduler per round (so every round is a cold
+        # census), sharing the pre-spawned pool.
+        scheduler = ClassificationScheduler(
+            cache=ClassificationCache(), backend=backend
+        )
+        items = BatchClassifier(scheduler=scheduler).classify_many(problems)
+        durations.append(time.perf_counter() - round_start)
+        return items
+
+    try:
+        parallel_items = benchmark(parallel_census)
+    finally:
+        backend.close()
+    # Self-timed (not benchmark.stats) so `--benchmark-disable` runs work too.
+    parallel_seconds = min(durations)
+
+    assert [item.result.complexity for item in parallel_items] == [
+        item.result.complexity for item in serial_items
+    ]
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    print(
+        f"\nParallel cold census: {len(problems)} problems, {searches} searches; "
+        f"serial {serial_seconds * 1000:.1f} ms, processes x4 "
+        f"{parallel_seconds * 1000:.1f} ms ({speedup:.2f}x)"
+    )
+    # Gate on real parallelism being available: enough usable cores AND a
+    # pool that actually spawned (a sandboxed host degrades to inline).
+    if usable_cpus() >= 4 and not backend.degraded:
+        assert speedup >= 2.0, (
+            f"expected >=2x cold-census speedup on a >=4-core host, got {speedup:.2f}x"
+        )
+
+
+def test_warm_vs_cold_service_census(benchmark, tmp_path):
+    """How much census latency does the `warm` operation hide?
+
+    One service, two identical censuses against *different* cache states:
+    a cold one (measured manually) and one issued after ``warm(...,
+    wait=True)`` has pre-populated the cache (benchmarked).  The warmed
+    census must be answered entirely from cache.
+    """
+    census_params = dict(labels=2, density=0.5, count=60, seed=7)
+
+    with ThreadedService(backend="threads", workers=4) as address:
+        with ServiceClient.connect_tcp(*address) as client:
+            start = time.perf_counter()
+            cold = client.census(**census_params)
+            cold_seconds = time.perf_counter() - start
+
+        with ThreadedService(backend="threads", workers=4) as second_address:
+            with ServiceClient.connect_tcp(*second_address) as client:
+                warm_report = client.warm(census=census_params, wait=True)
+                durations = []
+
+                def warmed_census():
+                    round_start = time.perf_counter()
+                    summary = client.census(**census_params)
+                    durations.append(time.perf_counter() - round_start)
+                    return summary
+
+                warm = benchmark(warmed_census)
+        warm_seconds = min(durations)
+
+    assert warm_report["scheduled"] > 0
+    assert warm["hit_rate"] == 1.0
+    assert warm["counts"] == cold["counts"]
+    print(
+        f"\nWarm-vs-cold census: cold {cold_seconds * 1000:.1f} ms, "
+        f"after warm {warm_seconds * 1000:.1f} ms "
+        f"({cold_seconds / warm_seconds:.1f}x) over {warm['count']} problems"
     )

@@ -9,9 +9,13 @@ Usage::
     python -m repro classify-batch problems/            # every *.txt in a directory
     python -m repro classify-batch many.txt             # '---'-separated problem blocks
     python -m repro census --labels 2 --count 200       # random-problem sweep
+    python -m repro census --count 200 --worker-backend processes --workers 4
+    python -m repro cache stats --cache results.json    # on-disk cache maintenance
+    python -m repro cache compact --cache results.json --cache-max-entries 500
     python -m repro serve --host 127.0.0.1 --port 8765  # long-running service (TCP)
     python -m repro serve --stdio                       # service over stdin/stdout
     python -m repro client --connect localhost:8765 classify problem.txt
+    python -m repro client --connect localhost:8765 warm --census --count 200 --wait
 
 A problem file contains one configuration per line in the paper's notation
 (``parent : child child ...``); blank lines and ``#`` comments are ignored
@@ -21,20 +25,31 @@ the form ``# name: some-name`` inside a block names that problem.
 
 ``classify-batch`` and ``census`` route through the batch engine
 (:mod:`repro.engine`): problems are deduplicated by a renaming-invariant
-canonical form, each unique representative is classified once (optionally in
-parallel via ``--processes``), and results can persist across runs with
-``--cache FILE`` (bounded with ``--cache-max-entries N``, which evicts least
-recently used results).  Every subcommand accepts ``--json`` for
-machine-readable output.  The plain-text output reports the complexity class,
-the certificate label sets and, for ``n^{Θ(1)}`` problems, the ``Ω(n^{1/k})``
-lower-bound exponent.
+canonical form, each unique representative is classified once, and results
+can persist across runs with ``--cache FILE`` (bounded with
+``--cache-max-entries N``, which evicts least recently used results).
+Uncached representatives execute on a worker backend selected with
+``--worker-backend {inline,threads,processes}`` and sized with ``--workers N``
+(:mod:`repro.workers`; ``--processes N`` remains as the legacy spelling of
+``--worker-backend processes --workers N``).  Every subcommand accepts
+``--json`` for machine-readable output.  The plain-text output reports the
+complexity class, the certificate label sets and, for ``n^{Θ(1)}`` problems,
+the ``Ω(n^{1/k})`` lower-bound exponent.
+
+``cache`` maintains on-disk classification caches without classifying
+anything: ``cache stats`` reports entry counts and file size, ``cache
+compact`` rewrites the file from the (optionally re-bounded) in-memory state
+and reports the bytes reclaimed.
 
 ``serve`` runs the long-running classification service of
 :mod:`repro.service` — a JSON-lines protocol over stdio or TCP in which one
-persistent cache is shared by every client and batch/census responses stream
-item by item (spec: ``docs/service_protocol.md``).  ``client`` is its
-command-line counterpart: it connects to a running service and exposes the
-same classify/batch/census surface, plus ``stats`` and ``shutdown``.
+persistent cache is shared by every client, batch/census responses stream
+item by item, and searches fan out on the service's worker backend with
+single-flight deduplication per canonical key (spec:
+``docs/service_protocol.md``).  ``client`` is its command-line counterpart:
+it connects to a running service and exposes the same
+classify/batch/census surface, plus ``warm`` (pre-populate the service cache
+ahead of a batch or census), ``stats`` and ``shutdown``.
 """
 
 from __future__ import annotations
@@ -57,6 +72,7 @@ from .problems.catalog import catalog
 from .problems.random_problems import random_problem
 from .service.client import ServiceClient, ServiceError
 from .service.server import ClassificationService
+from .workers.backends import BACKEND_NAMES
 
 BATCH_SEPARATOR = "---"
 """Line separating problem blocks inside a multi-problem batch file."""
@@ -133,8 +149,13 @@ def _make_cache(args: argparse.Namespace) -> Optional[ClassificationCache]:
 
 
 def _make_classifier(args: argparse.Namespace) -> BatchClassifier:
-    """Build a :class:`BatchClassifier` from the engine flags."""
-    return BatchClassifier(cache=_make_cache(args), processes=args.processes)
+    """Build a :class:`BatchClassifier` from the engine/worker flags."""
+    return BatchClassifier(
+        cache=_make_cache(args),
+        processes=args.processes,
+        backend=args.worker_backend,
+        workers=args.workers,
+    )
 
 
 def _save_cache(classifier: BatchClassifier) -> None:
@@ -238,8 +259,8 @@ def _print_batch_report(items: List[BatchItem], classifier: BatchClassifier) -> 
 
 def _run_classify_batch(args: argparse.Namespace) -> int:
     problems = _read_batch(args.source)
-    classifier = _make_classifier(args)
-    items = classifier.classify_many(problems)
+    with _make_classifier(args) as classifier:
+        items = classifier.classify_many(problems)
     _save_cache(classifier)
     if args.json:
         payload = {
@@ -265,8 +286,8 @@ def _run_census(args: argparse.Namespace) -> int:
         )
         for index in range(args.count)
     ]
-    classifier = _make_classifier(args)
-    items = classifier.classify_many(problems)
+    with _make_classifier(args) as classifier:
+        items = classifier.classify_many(problems)
     _save_cache(classifier)
     counts: Dict[str, int] = {}
     for item in items:
@@ -302,10 +323,62 @@ def _run_census(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# cache maintenance
+# ----------------------------------------------------------------------
+def _open_cache(args: argparse.Namespace) -> ClassificationCache:
+    if not os.path.exists(args.cache):
+        raise LCLError(f"cache file {args.cache!r} does not exist")
+    return ClassificationCache(path=args.cache, max_entries=args.cache_max_entries)
+
+
+def _run_cache_stats(args: argparse.Namespace) -> int:
+    cache = _open_cache(args)
+    payload = {
+        "path": cache.path,
+        "entries": len(cache),
+        "max_entries": cache.max_entries,
+        "file_bytes": os.path.getsize(args.cache),
+        "evicted_on_load": cache.stats.evictions,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    budget = "unbounded" if cache.max_entries is None else str(cache.max_entries)
+    print(f"cache:    {cache.path}")
+    print(f"entries:  {payload['entries']} (budget {budget})")
+    print(f"size:     {payload['file_bytes']} bytes on disk")
+    if payload["evicted_on_load"]:
+        print(
+            f"note:     {payload['evicted_on_load']} entr(ies) over budget were "
+            f"evicted on load; run 'cache compact' to shrink the file"
+        )
+    return 0
+
+
+def _run_cache_compact(args: argparse.Namespace) -> int:
+    cache = _open_cache(args)
+    report = cache.compact()
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    reclaimed = report["bytes_before"] - report["bytes_after"]
+    print(
+        f"compacted {args.cache}: {report['entries']} entr(ies), "
+        f"{report['bytes_before']} -> {report['bytes_after']} bytes "
+        f"({reclaimed} reclaimed)"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
 # serve
 # ----------------------------------------------------------------------
 def _run_serve(args: argparse.Namespace) -> int:
-    service = ClassificationService(cache=_make_cache(args))
+    service = ClassificationService(
+        cache=_make_cache(args),
+        backend=args.worker_backend,
+        workers=args.workers,
+    )
 
     def ready(address) -> None:
         print(
@@ -391,6 +464,38 @@ def _client_census(args: argparse.Namespace, client: ServiceClient) -> int:
     return 0
 
 
+def _client_warm(args: argparse.Namespace, client: ServiceClient) -> int:
+    problems = None
+    if args.source is not None:
+        problems = [problem_to_dict(problem) for problem in _read_batch(args.source)]
+    census = None
+    if args.census:
+        census = {
+            "labels": args.labels,
+            "delta": args.delta,
+            "density": args.density,
+            "count": args.count,
+            "seed": args.seed,
+        }
+    if problems is None and census is None:
+        print(
+            "error: provide a batch source and/or --census parameters to warm",
+            file=sys.stderr,
+        )
+        return 2
+    summary = client.warm(problems=problems, census=census, wait=args.wait)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    mode = "waited for" if summary.get("waited") else "scheduled in background:"
+    print(
+        f"warm: {summary['count']} problem(s), {summary['unique_keys']} unique "
+        f"orbit(s); {summary['already_cached']} already cached, "
+        f"{mode} {summary['scheduled']} search(es)"
+    )
+    return 0
+
+
 def _client_stats(args: argparse.Namespace, client: ServiceClient) -> int:
     payload = client.stats()
     if args.json:
@@ -410,6 +515,13 @@ def _client_stats(args: argparse.Namespace, client: ServiceClient) -> int:
         f"engine:   {batch['submitted']} submitted, {batch['full_searches']} full "
         f"search(es) ({batch['speedup']:.1f}x amortization)"
     )
+    workers = payload.get("workers")
+    if workers:
+        print(
+            f"workers:  {workers['backend']} x{workers['workers']}, "
+            f"{workers['scheduled']} scheduled, {workers['deduped']} deduped, "
+            f"{workers['in_flight']} in flight"
+        )
     return 0
 
 
@@ -445,9 +557,29 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         metavar="N",
-        help="classify unique problems across N worker processes",
+        help="legacy alias for --worker-backend processes --workers N",
     )
+    _add_worker_flags(parser)
     _add_cache_flags(parser)
+
+
+def _add_worker_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--worker-backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help=(
+            "where uncached certificate searches run: inline (serial), "
+            "threads (concurrent in-process), or processes (CPU-parallel)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker pool size for threads/processes backends (default: CPU count)",
+    )
 
 
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
@@ -523,6 +655,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_flags(census_parser)
     census_parser.set_defaults(handler=_run_census)
 
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect and maintain an on-disk classification cache"
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    for name, handler, help_text in (
+        ("stats", _run_cache_stats, "report entry count and file size of a cache"),
+        (
+            "compact",
+            _run_cache_compact,
+            "rewrite a cache file from its (optionally re-bounded) entries",
+        ),
+    ):
+        cache_cmd = cache_sub.add_parser(name, help=help_text)
+        cache_cmd.add_argument(
+            "--cache", required=True, metavar="FILE", help="cache file to operate on"
+        )
+        cache_cmd.add_argument(
+            "--cache-max-entries",
+            type=int,
+            default=None,
+            metavar="N",
+            help="apply an LRU budget of N entries while loading",
+        )
+        cache_cmd.add_argument("--json", action="store_true")
+        cache_cmd.set_defaults(handler=handler)
+
     serve_parser = subparsers.add_parser(
         "serve",
         help="run the long-running classification service (JSON-lines protocol)",
@@ -541,6 +699,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=8765,
         help="TCP port; 0 binds an ephemeral port (default: 8765)",
     )
+    _add_worker_flags(serve_parser)
     _add_cache_flags(serve_parser)
     serve_parser.set_defaults(handler=_run_serve)
 
@@ -592,8 +751,36 @@ def build_parser() -> argparse.ArgumentParser:
     client_census.add_argument("--json", action="store_true")
     client_census.set_defaults(client_handler=_client_census)
 
+    client_warm = client_sub.add_parser(
+        "warm",
+        help="pre-populate the service cache ahead of a batch or census",
+    )
+    client_warm.add_argument(
+        "source",
+        nargs="?",
+        default=None,
+        help="optional batch source (directory, '---'-separated file, or '-')",
+    )
+    client_warm.add_argument(
+        "--census",
+        action="store_true",
+        help="warm the canonical keys of a random census instead of (or besides) a batch",
+    )
+    client_warm.add_argument("--labels", type=int, default=2)
+    client_warm.add_argument("--delta", type=int, default=2)
+    client_warm.add_argument("--density", type=float, default=0.5)
+    client_warm.add_argument("--count", type=int, default=100)
+    client_warm.add_argument("--seed", type=int, default=0)
+    client_warm.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the scheduled searches finish (default: background)",
+    )
+    client_warm.add_argument("--json", action="store_true")
+    client_warm.set_defaults(client_handler=_client_warm)
+
     client_stats = client_sub.add_parser(
-        "stats", help="print the service's cache and engine statistics"
+        "stats", help="print the service's cache, engine, and worker statistics"
     )
     client_stats.add_argument("--json", action="store_true")
     client_stats.set_defaults(client_handler=_client_stats)

@@ -10,9 +10,10 @@ fleets of problems:
   cache keyed by canonical form, with hit/miss/eviction statistics and an
   optional LRU ``max_entries`` budget enforced in memory and on disk,
 * :mod:`repro.engine.batch` — :class:`BatchClassifier`, which deduplicates a
-  stream of problems by canonical key, classifies unique representatives
-  (optionally across worker processes), and translates cached results back
-  through each problem's label bijection,
+  stream of problems by canonical key, routes unique representatives through
+  the single-flight scheduler of :mod:`repro.workers` (inline, thread-pool,
+  or process-pool execution), and translates cached results back through
+  each problem's label bijection,
 * :mod:`repro.engine.serialization` — dict/JSON round-tripping of problems
   and classification results, so results survive process boundaries and the
   on-disk cache.

@@ -7,10 +7,13 @@ problems it
 1. computes every problem's canonical form (:mod:`repro.engine.canonical`),
 2. deduplicates the stream by canonical key — one *representative* per
    renaming orbit,
-3. runs the full decision procedure only on representatives whose key is not
-   already in the cache (optionally fanning out across worker processes via
-   :mod:`multiprocessing`),
-4. stores each fresh result in the cache *in canonical labels*, and
+3. routes representatives whose key is not already cached through a
+   :class:`~repro.workers.scheduler.ClassificationScheduler`, which executes
+   the full decision procedure on a pluggable worker backend (``inline``,
+   ``threads``, or ``processes`` — see :mod:`repro.workers`) with
+   single-flight deduplication against concurrently running searches,
+4. lets the scheduler store each fresh result in the cache *in canonical
+   labels*, and
 5. answers every submitted problem by translating the cached canonical result
    back through that problem's own label bijection.
 
@@ -18,42 +21,31 @@ Because results are stored in canonical labels and translated per caller, a
 cache hit on the *same* problem reproduces the fresh classification exactly;
 a hit on a merely *isomorphic* problem yields an equally valid result whose
 certificate label sets are the bijective image of the representative's.
+
+The classifier is safe to call from many threads at once (the service does):
+statistics are mutex-guarded, the cache locks internally, and the scheduler
+guarantees one search per canonical key however many callers race on it.
+:meth:`submit_item` exposes the asynchronous edge — submit now, fan work out,
+stream each :class:`BatchItem` as its future resolves.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional
 
-from ..core.classifier import classify_with_certificates
 from ..core.complexity import ClassificationResult
 from ..core.problem import LCLProblem
+from ..workers.backends import WorkerBackend, create_backend
+from ..workers.scheduler import (
+    JOB_SCHEDULED,
+    ClassificationJob,
+    ClassificationScheduler,
+)
 from .cache import CacheStats, ClassificationCache
 from .canonical import CanonicalForm, canonical_form
-from .serialization import (
-    problem_from_dict,
-    problem_to_dict,
-    relabel_result,
-    result_from_dict,
-    result_to_dict,
-)
-
-_WorkerTask = Tuple[str, Dict[str, Any], Dict[str, str]]
-
-
-def _classify_worker(task: _WorkerTask) -> Tuple[str, Dict[str, Any]]:
-    """Worker entry point: classify one representative, in canonical labels.
-
-    Runs in a separate process, so everything crossing the boundary is a
-    plain dict (see :mod:`repro.engine.serialization`).
-    """
-    key, problem_payload, forward = task
-    problem = problem_from_dict(problem_payload)
-    artifacts = classify_with_certificates(problem)
-    payload = result_to_dict(relabel_result(artifacts.result, forward))
-    payload["elapsed_seconds"] = artifacts.elapsed_seconds
-    return key, payload
+from .serialization import relabel_result, result_from_dict
 
 
 @dataclass(frozen=True)
@@ -73,7 +65,7 @@ class BatchStats:
 
     ``full_searches`` counts actual runs of the complete decision procedure;
     the gap between it and ``submitted`` is the work amortized away by
-    canonical deduplication and caching.
+    canonical deduplication, caching, and single-flight sharing.
     """
 
     submitted: int = 0
@@ -101,6 +93,47 @@ class BatchStats:
         }
 
 
+def _item_from_payload(
+    form: CanonicalForm, payload: Mapping[str, Any], from_cache: bool
+) -> BatchItem:
+    """Translate a canonical-label payload into the submitter's alphabet."""
+    canonical_result = result_from_dict(payload)
+    return BatchItem(
+        problem=form.problem,
+        canonical_key=form.key,
+        result=relabel_result(canonical_result, form.inverse),
+        from_cache=from_cache,
+        elapsed_seconds=0.0 if from_cache else payload.get("elapsed_seconds", 0.0),
+    )
+
+
+@dataclass(frozen=True)
+class PendingClassification:
+    """A submitted problem whose search may still be running.
+
+    Returned by :meth:`BatchClassifier.submit_item`; :meth:`result` blocks
+    until the underlying scheduler job resolves and translates the canonical
+    payload back through this problem's bijection.
+    """
+
+    form: CanonicalForm
+    job: ClassificationJob
+
+    @property
+    def done(self) -> bool:
+        return self.job.done
+
+    @property
+    def from_cache(self) -> bool:
+        """Whether this submission was answered without starting a search."""
+        return self.job.kind != JOB_SCHEDULED
+
+    def result(self, timeout: Optional[float] = None) -> BatchItem:
+        """Block until classified; raise what the search raised on failure."""
+        payload = self.job.result(timeout=timeout)
+        return _item_from_payload(self.form, payload, from_cache=self.from_cache)
+
+
 class BatchClassifier:
     """Canonical-form-deduplicating, caching classifier front-end.
 
@@ -110,19 +143,53 @@ class BatchClassifier:
         The :class:`ClassificationCache` to consult and fill.  A fresh
         in-memory cache is created when omitted.
     processes:
-        When > 1, uncached representatives of a :meth:`classify_many` call are
-        classified in a :class:`multiprocessing.Pool` of this many workers.
-        ``None`` or 1 means serial execution in-process.
+        Legacy spelling kept for compatibility: ``processes=N`` with ``N > 1``
+        is shorthand for ``backend="processes", workers=N``.
+    backend:
+        Name of the worker backend executing uncached searches — ``"inline"``
+        (default: synchronous, zero overhead), ``"threads"``, or
+        ``"processes"`` — or an already-built
+        :class:`~repro.workers.backends.WorkerBackend` instance.
+    workers:
+        Pool size for ``threads``/``processes`` backends (default: CPU count).
+    scheduler:
+        An existing :class:`ClassificationScheduler` to share (its cache wins
+        over the ``cache`` argument).  Lets several classifiers — or a service
+        — pool their single-flight tables and worker processes.
     """
 
     def __init__(
         self,
         cache: Optional[ClassificationCache] = None,
         processes: Optional[int] = None,
+        backend: Optional[Any] = None,
+        workers: Optional[int] = None,
+        scheduler: Optional[ClassificationScheduler] = None,
     ) -> None:
-        self.cache = cache if cache is not None else ClassificationCache()
+        # close() only tears down resources this classifier created: an
+        # injected scheduler — or an injected backend instance — is shared
+        # property, and whoever built it decides when to close it.
+        self._owns_scheduler = scheduler is None
+        self._owns_backend = scheduler is None and not isinstance(
+            backend, WorkerBackend
+        )
+        if scheduler is not None:
+            self.scheduler = scheduler
+            self.cache = scheduler.cache
+        else:
+            if backend is None and processes is not None and processes > 1:
+                backend, workers = "processes", workers or processes
+            if isinstance(backend, WorkerBackend):
+                backend_obj = backend
+            else:
+                backend_obj = create_backend(backend, workers)
+            self.cache = cache if cache is not None else ClassificationCache()
+            self.scheduler = ClassificationScheduler(
+                cache=self.cache, backend=backend_obj
+            )
         self.processes = processes
         self.stats = BatchStats()
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Single-problem interface
@@ -133,13 +200,23 @@ class BatchClassifier:
 
     def classify_item(self, problem: LCLProblem) -> BatchItem:
         """Classify one problem through the cache, with provenance."""
+        return self.submit_item(problem).result()
+
+    def submit_item(self, problem: LCLProblem) -> PendingClassification:
+        """Submit one problem for classification without waiting.
+
+        The search (if one is needed) starts on the worker backend
+        immediately; concurrent submissions of the same renaming orbit share
+        it.  Call :meth:`PendingClassification.result` to collect the
+        translated :class:`BatchItem`.
+        """
         form = canonical_form(problem)
-        self.stats.submitted += 1
-        payload = self.cache.lookup(form.key)
-        if payload is not None:
-            return self._item_from_payload(form, payload, from_cache=True)
-        payload = self._classify_representative(form)
-        return self._item_from_payload(form, payload, from_cache=False)
+        job = self.scheduler.submit(form)
+        with self._stats_lock:
+            self.stats.submitted += 1
+            if job.kind == JOB_SCHEDULED:
+                self.stats.full_searches += 1
+        return PendingClassification(form=form, job=job)
 
     # ------------------------------------------------------------------
     # Batch interface
@@ -148,39 +225,42 @@ class BatchClassifier:
         """Classify a stream of problems, deduplicating by canonical form.
 
         Results are returned in submission order.  Representatives missing
-        from the cache are classified serially, or in a worker pool when the
-        classifier was constructed with ``processes > 1``.
+        from the cache are all scheduled up front, so with a ``threads`` or
+        ``processes`` backend they run concurrently while this call waits.
         """
         forms = [canonical_form(problem) for problem in problems]
-        self.stats.submitted += len(forms)
+        with self._stats_lock:
+            self.stats.submitted += len(forms)
 
-        # One cache lookup per *distinct* key: the first occurrence decides
-        # hit or miss, duplicates within the batch count as hits.  Payloads are
-        # captured here (not re-read from the cache afterwards) so that a tight
-        # ``max_entries`` budget evicting entries mid-batch cannot lose answers.
+        # One scheduler submission per *distinct* key: the first occurrence
+        # decides hit or miss, duplicates within the batch count as hits.
+        # Payloads are captured from the job futures (not re-read from the
+        # cache afterwards) so that a tight ``max_entries`` budget evicting
+        # entries mid-batch cannot lose answers.
         first_form_by_key: Dict[str, CanonicalForm] = {}
         for form in forms:
             first_form_by_key.setdefault(form.key, form)
-        payload_by_key: Dict[str, Dict[str, Any]] = {}
-        missing: List[CanonicalForm] = []
-        for key, form in first_form_by_key.items():
-            payload = self.cache.lookup(key)
-            if payload is None:
-                missing.append(form)
-            else:
-                payload_by_key[key] = payload
-            # Duplicate submissions of the same orbit are answered from the
-            # captured payloads below; count them as hits now.
+        jobs: Dict[str, ClassificationJob] = {
+            key: self.scheduler.submit(form)
+            for key, form in first_form_by_key.items()
+        }
+        searches = sum(1 for job in jobs.values() if job.kind == JOB_SCHEDULED)
+        with self._stats_lock:
+            self.stats.full_searches += searches
+        # Duplicate submissions of the same orbit are answered from the
+        # captured payloads below; count them as hits now.
         duplicate_count = len(forms) - len(first_form_by_key)
-        self.cache.stats.hits += duplicate_count
+        self.cache.add_hits(duplicate_count)
 
-        payload_by_key.update(self._classify_missing(missing))
+        payload_by_key = {key: job.result() for key, job in jobs.items()}
 
         items: List[BatchItem] = []
-        fresh_keys = {form.key for form in missing}
+        fresh_keys = {
+            key for key, job in jobs.items() if job.kind == JOB_SCHEDULED
+        }
         for form in forms:
             items.append(
-                self._item_from_payload(
+                _item_from_payload(
                     form,
                     payload_by_key[form.key],
                     from_cache=form.key not in fresh_keys,
@@ -190,67 +270,7 @@ class BatchClassifier:
         return items
 
     # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _classify_missing(
-        self, missing: Sequence[CanonicalForm]
-    ) -> Dict[str, Dict[str, Any]]:
-        """Classify every representative in ``missing`` and fill the cache.
-
-        Returns the fresh payloads keyed by canonical key, so callers keep
-        their answers even if the cache evicts an entry straight away.
-        """
-        fresh: Dict[str, Dict[str, Any]] = {}
-        if not missing:
-            return fresh
-        self.stats.full_searches += len(missing)
-        if self.processes and self.processes > 1 and len(missing) > 1:
-            tasks: List[_WorkerTask] = [
-                (form.key, problem_to_dict(form.problem), dict(form.forward))
-                for form in missing
-            ]
-            try:
-                with multiprocessing.Pool(self.processes) as pool:
-                    for key, payload in pool.imap_unordered(_classify_worker, tasks):
-                        self.cache.store(key, payload)
-                        fresh[key] = payload
-                return fresh
-            except OSError:  # pragma: no cover - pool unavailable (sandboxing)
-                pass  # fall through to the serial path
-        for form in missing:
-            key, payload = _classify_worker(
-                (form.key, problem_to_dict(form.problem), dict(form.forward))
-            )
-            self.cache.store(key, payload)
-            fresh[key] = payload
-        return fresh
-
-    def _classify_representative(self, form: CanonicalForm) -> Dict[str, Any]:
-        """Classify a single representative and store its canonical result."""
-        self.stats.full_searches += 1
-        _key, payload = _classify_worker(
-            (form.key, problem_to_dict(form.problem), dict(form.forward))
-        )
-        self.cache.store(form.key, payload)
-        return payload
-
-    def _item_from_payload(
-        self,
-        form: CanonicalForm,
-        payload: Mapping[str, Any],
-        from_cache: bool,
-    ) -> BatchItem:
-        canonical_result = result_from_dict(payload)
-        return BatchItem(
-            problem=form.problem,
-            canonical_key=form.key,
-            result=relabel_result(canonical_result, form.inverse),
-            from_cache=from_cache,
-            elapsed_seconds=0.0 if from_cache else payload.get("elapsed_seconds", 0.0),
-        )
-
-    # ------------------------------------------------------------------
-    # Introspection
+    # Introspection / lifecycle
     # ------------------------------------------------------------------
     @property
     def cache_stats(self) -> CacheStats:
@@ -258,5 +278,26 @@ class BatchClassifier:
         return self.cache.stats
 
     def stats_report(self) -> Dict[str, Any]:
-        """Combined batch + cache statistics as a JSON-friendly dictionary."""
-        return {"batch": self.stats.as_dict(), "cache": self.cache.stats.as_dict()}
+        """Combined batch + cache + worker statistics (JSON-friendly)."""
+        return {
+            "batch": self.stats.as_dict(),
+            "cache": self.cache.stats.as_dict(),
+            "workers": self.scheduler.stats_payload(),
+        }
+
+    def close(self) -> None:
+        """Shut the worker backend down.
+
+        Only closes a backend this classifier created itself (from a backend
+        *name* or the ``processes`` shorthand); an injected scheduler or
+        backend instance stays alive for its other users — whoever built it
+        decides when to close it.
+        """
+        if self._owns_scheduler and self._owns_backend:
+            self.scheduler.close()
+
+    def __enter__(self) -> "BatchClassifier":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

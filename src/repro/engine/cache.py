@@ -14,6 +14,11 @@ Two storage tiers are provided:
 * an optional on-disk JSON file (``path=...``) so that expensive certificate
   searches survive process restarts.
 
+The cache is **thread-safe**: every operation (lookup, store, save, load,
+compact) holds an internal reentrant lock, so the worker threads of
+:mod:`repro.workers` and concurrent service connection handlers can share
+one instance without external serialization.
+
 Eviction policy
 ---------------
 When ``max_entries`` is set, the cache never holds more than that many
@@ -45,6 +50,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, Mapping, Optional
@@ -108,6 +114,21 @@ class ClassificationCache:
     max_entries: Optional[int] = None
     stats: CacheStats = field(default_factory=CacheStats)
     _entries: "OrderedDict[str, Dict[str, Any]]" = field(default_factory=OrderedDict)
+    # Guards the LRU mapping and the stats counters: worker threads of the
+    # scheduler (repro.workers) store results concurrently with lookups from
+    # service connection handlers.  Reentrant because save() calls into
+    # locked helpers (compact -> save, store -> autosave).  Held only for
+    # dictionary operations — never across disk I/O, so a save() in progress
+    # cannot stall lookups/stores (the scheduler calls those under its own
+    # mutex).
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
+    # Serializes writers of the backing file: concurrent save() calls share
+    # one temp path, so interleaving them would corrupt the file.
+    _io_lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.max_entries is not None and self.max_entries < 1:
@@ -123,17 +144,19 @@ class ClassificationCache:
 
         A hit refreshes the entry's LRU recency.
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
 
     def peek(self, key: str) -> Optional[Dict[str, Any]]:
         """Like :meth:`lookup` but touching neither statistics nor recency."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def store(self, key: str, result_payload: Mapping[str, Any]) -> None:
         """Store a serialized result under ``key`` (overwriting any old entry).
@@ -141,9 +164,12 @@ class ClassificationCache:
         The entry becomes the most recently used; when the ``max_entries``
         budget is exceeded, least recently used entries are evicted.
         """
-        self._entries[key] = dict(result_payload)
-        self._entries.move_to_end(key)
-        self._evict_over_budget()
+        with self._lock:
+            self._entries[key] = dict(result_payload)
+            self._entries.move_to_end(key)
+            self._evict_over_budget()
+        # Autosave outside the in-memory lock: save() acquires the I/O lock
+        # first, so saving from under `_lock` would invert the lock order.
         if self.autosave and self.path:
             self.save()
 
@@ -159,18 +185,35 @@ class ClassificationCache:
         return evicted
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def keys(self) -> Iterator[str]:
-        """Iterate over the stored canonical keys, least recently used first."""
-        return iter(self._entries)
+        """Iterate over the stored canonical keys, least recently used first.
+
+        Returns a snapshot, so iteration is safe against concurrent stores.
+        """
+        with self._lock:
+            return iter(list(self._entries))
 
     def clear(self) -> None:
         """Drop every entry (statistics are kept; use ``reset_stats`` too)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+
+    def add_hits(self, count: int) -> None:
+        """Count ``count`` extra hits under the cache lock.
+
+        For callers that answer duplicate submissions from captured payloads
+        instead of per-key lookups (``BatchClassifier.classify_many``); a bare
+        ``stats.hits += n`` from their thread would race the locked updates.
+        """
+        with self._lock:
+            self.stats.hits += count
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters."""
@@ -217,31 +260,38 @@ class ClassificationCache:
         for key, entry in pairs:
             if not isinstance(entry, dict) or "complexity" not in entry:
                 raise ValueError(f"malformed cache entry {key!r} in {self.path}")
-        for key, entry in pairs:
-            self._entries[key] = entry
-            self._entries.move_to_end(key)
-        self._evict_over_budget()
+        with self._lock:
+            for key, entry in pairs:
+                self._entries[key] = entry
+                self._entries.move_to_end(key)
+            self._evict_over_budget()
         return len(pairs)
 
     def save(self) -> None:
         """Write every entry to :attr:`path` as a single schema-2 JSON document.
 
-        The write is atomic (temp file + ``os.replace``), and because the
-        in-memory mapping is LRU-bounded, the file never holds more than
-        ``max_entries`` entries.
+        The write is atomic (temp file + ``os.replace``) and serialized
+        against other savers by a dedicated I/O lock; the in-memory lock is
+        held only while snapshotting the entries, so concurrent lookups and
+        stores never wait on the disk.  Because the in-memory mapping is
+        LRU-bounded, the file never holds more than ``max_entries`` entries.
         """
         if not self.path:
             raise ValueError("cache has no backing path")
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
-        payload = {
-            "schema": CACHE_SCHEMA_VERSION,
-            "entries": [[key, entry] for key, entry in self._entries.items()],
-        }
-        tmp_path = f"{self.path}.tmp"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=None, sort_keys=True)
-        os.replace(tmp_path, self.path)
+        with self._io_lock:
+            with self._lock:
+                payload = {
+                    "schema": CACHE_SCHEMA_VERSION,
+                    "entries": [
+                        [key, entry] for key, entry in self._entries.items()
+                    ],
+                }
+            tmp_path = f"{self.path}.tmp"
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=None, sort_keys=True)
+            os.replace(tmp_path, self.path)
 
     def compact(self) -> Dict[str, Any]:
         """Rewrite the backing file from the (bounded) in-memory state.

@@ -6,7 +6,12 @@ machines.  A single :class:`ClassificationService` owns one persistent,
 LRU-bounded :class:`~repro.engine.cache.ClassificationCache` and serves any
 number of sequential or concurrent clients, streaming per-item results as the
 exponential certificate searches finish instead of blocking until a whole
-batch is done.
+batch is done.  Since protocol version 2 the searches execute through the
+single-flight scheduler of :mod:`repro.workers`: independent problems from
+concurrent connections classify in parallel on the configured worker backend
+(no process-wide lock), concurrent requests for the same uncached canonical
+key share exactly one search, and the ``warm`` operation pre-populates the
+cache with an upcoming workload's canonical keys.
 
 Layout:
 

@@ -231,8 +231,32 @@ class ServiceClient:
         }
         return self.request("census", params, on_item)
 
+    def warm(
+        self,
+        problems: Optional[Sequence[Any]] = None,
+        census: Optional[Dict[str, Any]] = None,
+        wait: bool = False,
+    ) -> Dict[str, Any]:
+        """Pre-populate the service cache ahead of a batch or census.
+
+        Ship either a list of problem specs, the census parameter object
+        (``labels``/``delta``/``density``/``count``/``seed``), or both; the
+        service schedules every distinct uncached canonical key on its worker
+        backend.  With ``wait=True`` the call returns after the searches
+        complete (the follow-up request is then answered entirely from
+        cache); otherwise the cache fills in the background.
+        """
+        params: Dict[str, Any] = {"wait": wait}
+        if problems is not None:
+            params["problems"] = [
+                problem_params(problem)["problem"] for problem in problems
+            ]
+        if census is not None:
+            params["census"] = dict(census)
+        return self.request("warm", params)
+
     def stats(self) -> Dict[str, Any]:
-        """Service, cache, and batch counters of the running service."""
+        """Service, cache, batch, and worker counters of the running service."""
         return self.request("stats")
 
     def shutdown(self) -> Dict[str, Any]:

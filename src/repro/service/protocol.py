@@ -29,8 +29,16 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Tuple
 
-PROTOCOL_VERSION = 1
-"""Version of the JSON-lines protocol, announced in the ``hello`` frame."""
+PROTOCOL_VERSION = 2
+"""Version of the JSON-lines protocol, announced in the ``hello`` frame.
+
+Version 2 adds the ``warm`` operation (cache pre-population ahead of a
+batch/census), a ``workers`` section in ``stats`` responses, and concurrent
+execution semantics: the server no longer serializes classification behind a
+process-wide lock — independent requests proceed in parallel and concurrent
+requests for the same uncached canonical problem share a single search.
+Version-1 clients remain wire-compatible: every v1 frame shape is unchanged.
+"""
 
 SERVICE_NAME = "repro-classifier"
 
@@ -38,6 +46,7 @@ OPERATIONS: Tuple[str, ...] = (
     "classify",
     "classify_batch",
     "census",
+    "warm",
     "stats",
     "shutdown",
 )

@@ -12,14 +12,20 @@ speak the identical protocol:
 
 Batch and census requests *stream*: every classified problem is written as an
 ``item`` frame the moment its certificate search (or cache hit) completes,
-followed by a terminal ``done`` frame with the request summary.  The
-exponential searches run on executor threads so the event loop stays
-responsive, and a process-wide work lock serializes engine access, making the
-shared cache safe under concurrent connections.  When the cache has a backing
-path it is persisted after every request that classified something new (the
-LRU budget keeps the file small; pure cache-hit requests skip the rewrite)
-and again on shutdown, so a killed service loses at most the request in
-flight.
+followed by a terminal ``done`` frame with the request summary.  All searches
+execute through the single-flight :class:`~repro.workers.ClassificationScheduler`
+on a configurable worker backend (``--worker-backend inline|threads|processes``,
+``--workers N``): a batch's uncached representatives are fanned out up front
+and frames stream as each future resolves, independent problems from
+concurrent connections classify concurrently, and concurrent requests for the
+same uncached canonical key share exactly one search.  The process-wide work
+lock of protocol version 1 is gone — the cache and scheduler synchronize
+internally.  The ``warm`` operation pre-schedules a future batch or census's
+canonical keys so the shared cache is hot before the real request arrives.
+When the cache has a backing path it is persisted after every request that
+classified something new (the LRU budget keeps the file small; pure cache-hit
+requests skip the rewrite) and again on shutdown, so a killed service loses
+at most the request in flight.
 
 :class:`ThreadedService` runs the TCP variant on a background thread of the
 current process — the embedding used by ``tests/test_service.py`` and the
@@ -32,14 +38,16 @@ import asyncio
 import contextlib
 import threading
 import time
-from typing import Any, Awaitable, Callable, Dict, IO, List, Optional, Tuple
+from typing import Any, Awaitable, Callable, Dict, IO, List, Mapping, Optional, Tuple
 
 from ..core.parser import parse_problem
 from ..core.problem import LCLError, LCLProblem
 from ..engine.batch import BatchClassifier, BatchItem
 from ..engine.cache import ClassificationCache
+from ..engine.canonical import canonical_form
 from ..engine.serialization import problem_from_dict, result_to_dict
 from ..problems.random_problems import random_problem
+from ..workers.backends import DEFAULT_WORKERS
 from .protocol import (
     ERROR_BAD_PROBLEM,
     ERROR_BAD_REQUEST,
@@ -84,33 +92,54 @@ class ClassificationService:
         The shared :class:`ClassificationCache`.  A fresh unbounded in-memory
         cache is created when omitted.  Give it a ``path`` for persistence
         and ``max_entries`` for an LRU budget.
+    backend:
+        Worker backend name executing the certificate searches (``inline``,
+        ``threads``, ``processes``).  Defaults to ``threads``: in-process
+        concurrency so independent requests never block each other, without
+        process-spawn cost (use ``processes`` for CPU parallelism on cold
+        censuses).
+    workers:
+        Pool size for the backend (default: CPU count, but at least 4 so a
+        single-core host still overlaps independent requests).
     """
 
-    def __init__(self, cache: Optional[ClassificationCache] = None) -> None:
+    def __init__(
+        self,
+        cache: Optional[ClassificationCache] = None,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+    ) -> None:
         self.cache = cache if cache is not None else ClassificationCache()
-        self.classifier = BatchClassifier(cache=self.cache)
+        if workers is None:
+            workers = max(DEFAULT_WORKERS, 4)
+        self.classifier = BatchClassifier(
+            cache=self.cache, backend=backend or "threads", workers=workers
+        )
+        self.scheduler = self.classifier.scheduler
+        # Spawn pool workers now (and detect a process pool degrading to
+        # inline execution) so the streaming strategy of `_stream_items`
+        # matches how searches will really run from the very first request.
+        self.scheduler.backend.probe()
         self.requests_served = 0
         self.started_at = time.monotonic()
-        # Serializes engine/cache access across executor threads: handlers of
-        # concurrent connections classify on threads, the engine is not
-        # thread-safe, and the certificate searches hold the GIL anyway.
-        self._work_lock = threading.Lock()
         self._shutdown_event: Optional[asyncio.Event] = None
         self._writers: List[asyncio.StreamWriter] = []
         self._connection_tasks: "set" = set()
+        self._background_tasks: "set" = set()
         self.tcp_address: Optional[Tuple[str, int]] = None
 
     # ------------------------------------------------------------------
     # Engine access
     # ------------------------------------------------------------------
     async def _classify(self, problem: LCLProblem) -> BatchItem:
-        """Classify one problem off the event loop, under the work lock."""
-        loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(None, self._classify_sync, problem)
+        """Classify one problem off the event loop.
 
-    def _classify_sync(self, problem: LCLProblem) -> BatchItem:
-        with self._work_lock:
-            return self.classifier.classify_item(problem)
+        No global lock: the scheduler single-flights per canonical key, so
+        concurrent connections classifying *different* problems proceed in
+        parallel, and ones racing on the *same* problem share one search.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.classifier.classify_item, problem)
 
     def _resolve_problem(self, spec: Any, default_name: str) -> LCLProblem:
         """Turn a request's problem spec (text or dict) into an `LCLProblem`."""
@@ -130,8 +159,7 @@ class ClassificationService:
         """Persist the shared cache when it has a backing path."""
         if not self.cache.path:
             return False
-        with self._work_lock:
-            self.cache.save()
+        self.cache.save()  # the cache snapshots under its own lock
         return True
 
     # ------------------------------------------------------------------
@@ -150,12 +178,35 @@ class ClassificationService:
     async def _stream_items(
         self, request: Request, problems: List[LCLProblem], send: _SendFrame
     ) -> Dict[str, Any]:
-        """Stream one ``item`` frame per problem; return the hit/miss summary."""
+        """Stream one ``item`` frame per problem; return the hit/miss summary.
+
+        All problems are submitted to the scheduler up front, so uncached
+        representatives fan out across the worker backend; frames are then
+        written in submission order as each future resolves, so a slow search
+        overlaps with everything behind it instead of serializing the stream.
+
+        A synchronous backend (``inline``, or a ``processes`` pool that
+        degraded to inline execution) runs each search *inside*
+        ``submit_item``, so the up-front fan-out would silently hold every
+        frame until the whole request finished; those configurations classify
+        problem by problem instead, streaming between searches exactly like
+        protocol v1.
+        """
+        loop = asyncio.get_running_loop()
         hits = 0
-        for seq, problem in enumerate(problems):
-            item = await self._classify(problem)
-            hits += int(item.from_cache)
-            await send(item_frame(request.id, seq, item_payload(item)))
+        if self.scheduler.backend.synchronous:
+            for seq, problem in enumerate(problems):
+                item = await self._classify(problem)
+                hits += int(item.from_cache)
+                await send(item_frame(request.id, seq, item_payload(item)))
+        else:
+            pendings = await loop.run_in_executor(
+                None, lambda: [self.classifier.submit_item(p) for p in problems]
+            )
+            for seq, pending in enumerate(pendings):
+                item = await loop.run_in_executor(None, pending.result)
+                hits += int(item.from_cache)
+                await send(item_frame(request.id, seq, item_payload(item)))
         count = len(problems)
         return {
             "count": count,
@@ -183,8 +234,11 @@ class ClassificationService:
         if summary["cache_misses"]:
             self._save_cache()
 
-    async def _handle_census(self, request: Request, send: _SendFrame) -> None:
-        params = request.params
+    @staticmethod
+    def _census_problems(
+        params: Mapping[str, Any],
+    ) -> Tuple[List[LCLProblem], Dict[str, Any]]:
+        """Generate a census's problem list; return it with the echoed params."""
         try:
             labels = int(params.get("labels", 2))
             delta = int(params.get("delta", 2))
@@ -201,6 +255,17 @@ class ClassificationService:
             random_problem(labels, delta=delta, density=density, seed=seed + index)
             for index in range(count)
         ]
+        echo = {
+            "labels": labels,
+            "delta": delta,
+            "density": density,
+            "count": count,
+            "seed": seed,
+        }
+        return problems, echo
+
+    async def _handle_census(self, request: Request, send: _SendFrame) -> None:
+        problems, echo_params = self._census_problems(request.params)
         counts: Dict[str, int] = {}
 
         async def send_and_tally(frame: Dict[str, Any]) -> None:
@@ -210,23 +275,81 @@ class ClassificationService:
 
         summary = await self._stream_items(request, problems, send_and_tally)
         summary["counts"] = counts
-        summary["params"] = {
-            "labels": labels,
-            "delta": delta,
-            "density": density,
-            "count": count,
-            "seed": seed,
-        }
+        summary["params"] = echo_params
         summary["stats"] = self.classifier.stats_report()
         await send(done_frame(request.id, summary))
         if summary["cache_misses"]:
             self._save_cache()
 
+    async def _handle_warm(self, request: Request, send: _SendFrame) -> None:
+        """Pre-populate the cache with a future batch/census's canonical keys.
+
+        ``params.problems`` (a list of problem specs) and/or ``params.census``
+        (the census parameter object) name the workload; every distinct
+        uncached canonical key is scheduled on the worker backend.  With
+        ``params.wait=true`` the response is sent after the searches finish;
+        otherwise it returns immediately and the cache fills (and persists)
+        in the background.
+        """
+        params = request.params
+        specs = params.get("problems")
+        census = params.get("census")
+        wait = bool(params.get("wait", False))
+        if specs is None and census is None:
+            raise ProtocolError(
+                ERROR_BAD_REQUEST, "warm requires params.problems or params.census"
+            )
+        problems: List[LCLProblem] = []
+        if specs is not None:
+            if not isinstance(specs, list) or not specs:
+                raise ProtocolError(
+                    ERROR_BAD_REQUEST, "warm params.problems must be a non-empty list"
+                )
+            problems.extend(
+                self._resolve_problem(spec, default_name=f"<warm>#{index + 1}")
+                for index, spec in enumerate(specs)
+            )
+        if census is not None:
+            if not isinstance(census, dict):
+                raise ProtocolError(
+                    ERROR_BAD_REQUEST, "warm params.census must be an object"
+                )
+            census_problems, _echo = self._census_problems(census)
+            problems.extend(census_problems)
+        loop = asyncio.get_running_loop()
+        summary = await loop.run_in_executor(
+            None,
+            lambda: self.scheduler.warm(
+                [canonical_form(problem) for problem in problems], wait=wait
+            ),
+        )
+        summary["count"] = len(problems)
+        # Like the other handlers, skip the file rewrite when nothing new was
+        # classified (an already-hot warm must stay cheap).
+        if summary["scheduled"]:
+            if wait:
+                self._save_cache()
+            else:
+                self._spawn_background(self._save_cache_when_idle())
+        await send(result_frame(request.id, summary))
+
+    def _spawn_background(self, coroutine: Awaitable[Any]) -> None:
+        """Run a fire-and-forget coroutine, keeping a strong reference."""
+        task = asyncio.ensure_future(coroutine)
+        self._background_tasks.add(task)
+        task.add_done_callback(self._background_tasks.discard)
+
+    async def _save_cache_when_idle(self) -> None:
+        """Persist the cache once background warming has drained."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.scheduler.wait_idle, 600)
+        self._save_cache()
+
     async def _handle_stats(self, request: Request, send: _SendFrame) -> None:
         await send(result_frame(request.id, self.stats_payload()))
 
     def stats_payload(self) -> Dict[str, Any]:
-        """The ``stats`` response: service, cache, and batch counters."""
+        """The ``stats`` response: service, cache, batch, and worker counters."""
         return {
             "service": {
                 "requests_served": self.requests_served,
@@ -239,6 +362,7 @@ class ClassificationService:
                 **self.cache.stats.as_dict(),
             },
             "batch": self.classifier.stats.as_dict(),
+            "workers": self.scheduler.stats_payload(),
         }
 
     async def _handle_shutdown(self, request: Request, send: _SendFrame) -> None:
@@ -250,6 +374,7 @@ class ClassificationService:
         "classify": _handle_classify,
         "classify_batch": _handle_classify_batch,
         "census": _handle_census,
+        "warm": _handle_warm,
         "stats": _handle_stats,
         "shutdown": _handle_shutdown,
     }
@@ -339,6 +464,10 @@ class ClassificationService:
             await self._serve_connection(readline, send)
         finally:
             self._save_cache()
+            # close() drains in-flight background warms into the in-memory
+            # cache; save again so they reach the file too.
+            self.classifier.close()
+            self._save_cache()
 
     async def serve_tcp(
         self,
@@ -375,6 +504,12 @@ class ClassificationService:
             server.close()
             with contextlib.suppress(Exception):
                 await server.wait_closed()
+            # Only now tear the worker pool down: no handler can submit work.
+            # close() waits for in-flight searches (e.g. a background warm),
+            # whose results land in the in-memory cache after the save above —
+            # save again so shutdown loses nothing.
+            self.classifier.close()
+            self._save_cache()
 
     async def _handle_tcp_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -419,8 +554,12 @@ class ThreadedService:
         cache: Optional[ClassificationCache] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> None:
-        self.service = ClassificationService(cache=cache)
+        self.service = ClassificationService(
+            cache=cache, backend=backend, workers=workers
+        )
         self._host = host
         self._port = port
         self._ready = threading.Event()

@@ -1,0 +1,62 @@
+"""Parallel execution subsystem: worker backends + single-flight scheduling.
+
+The exponential certificate searches dominate every census; this package
+decides *where* they run and guarantees each distinct canonical problem is
+searched **at most once at a time**, however many callers ask for it:
+
+* :mod:`repro.workers.backends` — pluggable execution backends behind one
+  ``submit() -> Future`` interface: ``inline`` (synchronous, the classic
+  serial path), ``threads`` (concurrent in-process execution, the service
+  default), and ``processes`` (true CPU parallelism for cold censuses),
+  selected by ``--worker-backend``/``--workers`` on the CLI.
+* :mod:`repro.workers.scheduler` — :class:`ClassificationScheduler`, the
+  canonical-keyed job scheduler with single-flight deduplication: concurrent
+  submissions of the same uncached key share one in-flight future, results
+  land in the shared :class:`~repro.engine.cache.ClassificationCache`, and
+  live counters (scheduled / deduped / cache hits / in flight / utilization)
+  feed the service's ``stats`` frames.  Its :meth:`warm` method pre-schedules
+  a workload's canonical keys — the engine behind the service's ``warm``
+  operation and ``python -m repro client warm``.
+
+Both :class:`~repro.engine.batch.BatchClassifier` and the classification
+service route all search execution through this package; neither holds a
+process-wide work lock anymore.
+"""
+
+from .backends import (
+    BACKEND_NAMES,
+    DEFAULT_WORKERS,
+    InlineBackend,
+    ProcessBackend,
+    ThreadBackend,
+    WorkerBackend,
+    create_backend,
+    usable_cpus,
+)
+from .scheduler import (
+    JOB_CACHE_HIT,
+    JOB_SCHEDULED,
+    JOB_SHARED,
+    ClassificationJob,
+    ClassificationScheduler,
+    SchedulerStats,
+    execute_search,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "DEFAULT_WORKERS",
+    "ClassificationJob",
+    "ClassificationScheduler",
+    "InlineBackend",
+    "JOB_CACHE_HIT",
+    "JOB_SCHEDULED",
+    "JOB_SHARED",
+    "ProcessBackend",
+    "SchedulerStats",
+    "ThreadBackend",
+    "WorkerBackend",
+    "create_backend",
+    "execute_search",
+    "usable_cpus",
+]

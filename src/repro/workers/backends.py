@@ -1,0 +1,256 @@
+"""Execution backends for the parallel classification scheduler.
+
+A :class:`WorkerBackend` turns a picklable/callable task into a
+:class:`concurrent.futures.Future`.  Three implementations cover the
+trade-off space of the exponential certificate searches:
+
+* :class:`InlineBackend` — runs the task synchronously in the caller's
+  thread and returns an already-resolved future.  Zero overhead, zero
+  concurrency: the behavior of the pre-workers engine, and the default of
+  :class:`~repro.engine.batch.BatchClassifier`.
+* :class:`ThreadBackend` — a :class:`~concurrent.futures.ThreadPoolExecutor`.
+  The searches are pure-Python and hold the GIL, so threads buy *concurrency*
+  (many requests in flight, streaming stays live, single-flight dedup gets a
+  window to merge duplicates) rather than CPU parallelism.  This is the
+  service default: it removes head-of-line blocking between independent
+  requests without process-spawn cost.
+* :class:`ProcessBackend` — a :class:`~concurrent.futures.ProcessPoolExecutor`.
+  True CPU parallelism for cold, duplicate-poor workloads; tasks and results
+  cross the process boundary as plain dicts (:mod:`repro.engine.serialization`).
+  When the platform cannot spawn workers (sandboxes without ``/dev/shm`` or
+  fork rights), submitted tasks transparently degrade to inline execution
+  instead of failing the job.
+
+:func:`create_backend` maps the CLI/service spelling (``--worker-backend
+inline|threads|processes``, ``--workers N``) onto an instance.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Optional, Tuple
+
+BACKEND_NAMES: Tuple[str, ...] = ("inline", "threads", "processes")
+"""Valid ``--worker-backend`` spellings, in increasing order of parallelism."""
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually be scheduled on.
+
+    ``sched_getaffinity`` respects cpuset/affinity masks (``taskset``,
+    Kubernetes cpusets) that ``os.cpu_count()`` ignores, making it the less
+    dishonest pool-sizing number on shared hosts.  CFS bandwidth quotas
+    (``docker run --cpus=N``) are visible to neither call.  Falls back to
+    ``cpu_count`` on platforms without affinity support.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
+DEFAULT_WORKERS = max(usable_cpus(), 1)
+"""Worker count used when a pool backend is requested without ``--workers``."""
+
+
+class WorkerBackend:
+    """Interface of an execution backend: submit tasks, expose capacity."""
+
+    name: str = "abstract"
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future[Any]":
+        """Run ``fn(*args)`` on the backend; return a future for its result."""
+        raise NotImplementedError
+
+    @property
+    def synchronous(self) -> bool:
+        """True when ``submit`` executes the task before returning.
+
+        Callers that fan submissions out up front (the service's streaming
+        path) must not do so on a synchronous backend — the fan-out itself
+        would run every task back to back.
+        """
+        return False
+
+    def probe(self) -> None:
+        """Eagerly verify the backend can actually execute work.
+
+        Pool backends that initialize lazily (``processes``) spawn their
+        workers here, so properties like :attr:`synchronous` reflect reality
+        *before* the first real task instead of after it.  A no-op for
+        backends with nothing to spawn.
+        """
+
+    def close(self) -> None:
+        """Release pool resources.  Safe to call twice; inline is a no-op."""
+
+    def describe(self) -> dict:
+        """JSON-friendly configuration of this backend (for stats frames)."""
+        return {"backend": self.name, "workers": self.workers}
+
+    def __enter__(self) -> "WorkerBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class InlineBackend(WorkerBackend):
+    """Synchronous execution in the submitting thread (no pool at all)."""
+
+    name = "inline"
+
+    def __init__(self, workers: int = 1) -> None:
+        super().__init__(workers=1)
+
+    @property
+    def synchronous(self) -> bool:
+        return True
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future[Any]":
+        future: "Future[Any]" = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as error:  # noqa: BLE001 - future carries it
+            future.set_exception(error)
+        return future
+
+
+class ThreadBackend(WorkerBackend):
+    """A thread pool: concurrent (GIL-interleaved) in-process execution."""
+
+    name = "threads"
+
+    def __init__(self, workers: int = DEFAULT_WORKERS) -> None:
+        super().__init__(workers=workers)
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-worker"
+        )
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future[Any]":
+        return self._executor.submit(fn, *args)
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
+class ProcessBackend(WorkerBackend):
+    """A process pool: true CPU parallelism for the certificate searches.
+
+    The pool is created lazily on first submit, so merely constructing a
+    classifier with ``--worker-backend processes`` costs nothing until a cold
+    representative actually needs a search.  If the pool cannot be created or
+    breaks (sandboxed environments), tasks fall back to inline execution and
+    :attr:`degraded` is set — the job still completes, just without
+    parallelism.
+    """
+
+    name = "processes"
+
+    def __init__(self, workers: int = DEFAULT_WORKERS) -> None:
+        super().__init__(workers=workers)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+        self._closed = False
+        self.degraded = False
+
+    @property
+    def synchronous(self) -> bool:
+        # A degraded pool executes submissions inline in the caller.
+        return self.degraded
+
+    def _ensure_executor(self) -> Optional[ProcessPoolExecutor]:
+        with self._executor_lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed ProcessBackend")
+            if self.degraded:
+                return None
+            if self._executor is None:
+                try:
+                    self._executor = ProcessPoolExecutor(max_workers=self.workers)
+                except (OSError, ValueError):  # pragma: no cover - sandboxing
+                    self.degraded = True
+                    return None
+            return self._executor
+
+    def probe(self) -> None:
+        """Spawn the pool and run one trivial task through it.
+
+        After this returns, :attr:`degraded` (and therefore
+        :attr:`synchronous`) is accurate — the service probes at startup so
+        its streaming strategy matches how tasks will really execute.
+        """
+        self.submit(int).result(timeout=300)
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future[Any]":
+        executor = self._ensure_executor()
+        if executor is None:  # pragma: no cover - sandboxing
+            return InlineBackend().submit(fn, *args)
+        try:
+            inner = executor.submit(fn, *args)
+        except (RuntimeError, BrokenExecutor):  # pragma: no cover - pool died
+            self.degraded = True
+            return InlineBackend().submit(fn, *args)
+        proxy: "Future[Any]" = Future()
+
+        def relay(done: "Future[Any]") -> None:
+            error = done.exception()
+            if isinstance(error, (BrokenExecutor, OSError)):
+                # The pool broke underneath the task (worker killed, spawn
+                # denied): degrade to inline so the job is not lost.
+                self.degraded = True  # pragma: no cover - sandboxing
+                try:  # pragma: no cover
+                    proxy.set_result(fn(*args))
+                except BaseException as inline_error:  # noqa: BLE001
+                    proxy.set_exception(inline_error)
+            elif error is not None:
+                proxy.set_exception(error)
+            else:
+                proxy.set_result(done.result())
+
+        inner.add_done_callback(relay)
+        return proxy
+
+    def describe(self) -> dict:
+        payload = super().describe()
+        payload["degraded"] = self.degraded
+        return payload
+
+    def close(self) -> None:
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+            self._closed = True  # submits after close error out, like threads
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+
+def create_backend(name: Optional[str], workers: Optional[int] = None) -> WorkerBackend:
+    """Build a backend from its CLI spelling.
+
+    ``name=None`` means :class:`InlineBackend` — except that asking for more
+    than one worker implies a pool, in which case threads are chosen (the
+    cheap concurrent default).  ``workers=None`` sizes pools to the machine
+    (:data:`DEFAULT_WORKERS`).
+    """
+    if name is None:
+        name = "threads" if workers is not None and workers > 1 else "inline"
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown worker backend {name!r} (known: {', '.join(BACKEND_NAMES)})"
+        )
+    if name == "inline":
+        return InlineBackend()
+    pool_workers = workers if workers is not None else DEFAULT_WORKERS
+    if name == "threads":
+        return ThreadBackend(workers=pool_workers)
+    return ProcessBackend(workers=pool_workers)

@@ -1,0 +1,315 @@
+"""Single-flight job scheduler for canonical-keyed classification work.
+
+:class:`ClassificationScheduler` is the concurrency heart of the engine: it
+accepts :class:`~repro.engine.canonical.CanonicalForm` jobs, answers them
+from the shared :class:`~repro.engine.cache.ClassificationCache` when
+possible, and otherwise executes the certificate search on a pluggable
+:class:`~repro.workers.backends.WorkerBackend` — with the guarantee that
+
+    **at any moment, at most one search per canonical key is running.**
+
+Concurrent submissions of the same uncached key share one in-flight future
+("single flight"), so N clients hammering the same census cost exactly one
+exponential search per renaming orbit, not N.  The invariant is enforced by
+a single small mutex around the cache-lookup / in-flight-table decision;
+the searches themselves run outside every lock, so independent keys proceed
+fully concurrently (the service's old process-wide work lock is gone).
+
+Completion flow of a scheduled job: the backend future resolves → the
+canonical result payload is stored in the cache and the key leaves the
+in-flight table *under the same mutex* (so a racing submit always observes
+either the in-flight entry or the cache entry, never neither) → the job's
+shared future resolves and every waiter proceeds.
+
+:meth:`ClassificationScheduler.warm` is the cache-warming entry point: given
+the canonical forms of an upcoming batch/census it schedules every missing
+representative ahead of time, returning immediately (or after completion
+with ``wait=True``) — the mechanism behind the service's ``warm`` protocol
+operation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import wait as futures_wait
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from ..core.classifier import classify_with_certificates
+from ..engine.cache import ClassificationCache
+from ..engine.canonical import CanonicalForm
+from ..engine.serialization import (
+    problem_from_dict,
+    problem_to_dict,
+    relabel_result,
+    result_to_dict,
+)
+from .backends import InlineBackend, WorkerBackend
+
+_SearchTask = Tuple[str, Dict[str, Any], Dict[str, str]]
+
+JOB_CACHE_HIT = "hit"
+JOB_SHARED = "shared"
+JOB_SCHEDULED = "scheduled"
+
+
+def execute_search(task: _SearchTask) -> Tuple[str, Dict[str, Any]]:
+    """Run one full certificate search; return ``(key, canonical payload)``.
+
+    Module-level (and dict-in/dict-out) so :class:`ProcessBackend` can pickle
+    it across the process boundary.  The submitted problem is the *original*
+    representative; the result is relabeled through ``forward`` into canonical
+    labels before it is returned, matching what the cache stores.
+    """
+    key, problem_payload, forward = task
+    problem = problem_from_dict(problem_payload)
+    artifacts = classify_with_certificates(problem)
+    payload = result_to_dict(relabel_result(artifacts.result, forward))
+    payload["elapsed_seconds"] = artifacts.elapsed_seconds
+    return key, payload
+
+
+@dataclass
+class SchedulerStats:
+    """Work accounting of a :class:`ClassificationScheduler`.
+
+    ``scheduled`` counts searches actually handed to the backend — under
+    single flight this equals the number of distinct uncached canonical keys
+    ever submitted.  ``deduped`` counts submissions that piggybacked on an
+    in-flight search, ``cache_hits`` those answered straight from the cache
+    at submit time.
+    """
+
+    scheduled: int = 0
+    deduped: int = 0
+    cache_hits: int = 0
+    completed: int = 0
+    failed: int = 0
+
+    @property
+    def submitted(self) -> int:
+        """Total jobs submitted, however they were answered."""
+        return self.scheduled + self.deduped + self.cache_hits
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The counters as a JSON-friendly dictionary."""
+        return {
+            "submitted": self.submitted,
+            "scheduled": self.scheduled,
+            "deduped": self.deduped,
+            "cache_hits": self.cache_hits,
+            "completed": self.completed,
+            "failed": self.failed,
+        }
+
+
+@dataclass(frozen=True)
+class ClassificationJob:
+    """A submitted job: the canonical key, a shared future, and provenance.
+
+    ``kind`` records how the submission was answered: ``"hit"`` (cache),
+    ``"shared"`` (merged into an in-flight search of the same key), or
+    ``"scheduled"`` (this submission started the search).  The future
+    resolves to the canonical-label result payload; callers relabel it
+    through their own bijection.
+    """
+
+    key: str
+    future: "Future[Dict[str, Any]]"
+    kind: str
+
+    @property
+    def done(self) -> bool:
+        return self.future.done()
+
+    def result(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Block until the payload is available (propagating search errors)."""
+        return self.future.result(timeout=timeout)
+
+
+class ClassificationScheduler:
+    """Canonical-keyed scheduler with single-flight dedup and cache fill.
+
+    Parameters
+    ----------
+    cache:
+        The shared :class:`ClassificationCache` consulted before scheduling
+        and filled on completion.  A fresh in-memory cache when omitted.
+    backend:
+        The :class:`WorkerBackend` executing searches.  Defaults to
+        :class:`InlineBackend` (synchronous, zero overhead).
+    task:
+        The search function, ``(key, problem_dict, forward) -> (key,
+        payload)``.  Overridable for tests that need controllable blocking;
+        must stay picklable for process backends.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ClassificationCache] = None,
+        backend: Optional[WorkerBackend] = None,
+        task: Any = execute_search,
+    ) -> None:
+        self.cache = cache if cache is not None else ClassificationCache()
+        self.backend = backend if backend is not None else InlineBackend()
+        self.stats = SchedulerStats()
+        self._task = task
+        self._lock = threading.Lock()
+        self._in_flight: Dict[str, "Future[Dict[str, Any]]"] = {}
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, form: CanonicalForm) -> ClassificationJob:
+        """Submit one canonical form; dedupe against cache and in-flight work.
+
+        Returns immediately in every case; only ``kind == "scheduled"`` jobs
+        put new work on the backend.
+        """
+        key = form.key
+        with self._lock:
+            payload = self.cache.lookup(key)
+            if payload is not None:
+                self.stats.cache_hits += 1
+                future: "Future[Dict[str, Any]]" = Future()
+                future.set_result(payload)
+                return ClassificationJob(key=key, future=future, kind=JOB_CACHE_HIT)
+            shared = self._in_flight.get(key)
+            if shared is not None:
+                self.stats.deduped += 1
+                return ClassificationJob(key=key, future=shared, kind=JOB_SHARED)
+            proxy: "Future[Dict[str, Any]]" = Future()
+            self._in_flight[key] = proxy
+            self.stats.scheduled += 1
+        # The search runs outside the lock: independent keys never serialize
+        # on each other, and an inline backend executing synchronously here
+        # cannot deadlock against the completion bookkeeping.
+        task = (key, problem_to_dict(form.problem), dict(form.forward))
+        try:
+            backend_future = self.backend.submit(self._task, task)
+        except BaseException as error:  # noqa: BLE001 - undo the reservation
+            with self._lock:
+                self._in_flight.pop(key, None)
+                # Roll back the scheduled count too: nothing reached the
+                # backend, and `scheduled` must keep meaning "searches
+                # actually started" (a later retry counts itself).
+                self.stats.scheduled -= 1
+                self.stats.failed += 1
+            proxy.set_exception(error)
+            return ClassificationJob(key=key, future=proxy, kind=JOB_SCHEDULED)
+        backend_future.add_done_callback(
+            lambda done, key=key, proxy=proxy: self._finish(key, proxy, done)
+        )
+        return ClassificationJob(key=key, future=proxy, kind=JOB_SCHEDULED)
+
+    def _finish(
+        self,
+        key: str,
+        proxy: "Future[Dict[str, Any]]",
+        backend_future: "Future[Tuple[str, Dict[str, Any]]]",
+    ) -> None:
+        """Store the result, then retire the in-flight entry."""
+        error = backend_future.exception()
+        payload: Optional[Dict[str, Any]] = None
+        if error is None:
+            _key, payload = backend_future.result()
+            # Store *before* retiring the key, and outside the scheduler
+            # lock: a racing submit then sees the entry cached or in flight
+            # (briefly both), never neither — and an autosaving cache's disk
+            # write cannot stall every other submission on our mutex.
+            self.cache.store(key, payload)
+        with self._lock:
+            self._in_flight.pop(key, None)
+            if error is None:
+                self.stats.completed += 1
+            else:
+                self.stats.failed += 1
+        # Waiters wake *after* the cache holds the result.
+        if error is None:
+            proxy.set_result(payload)
+        else:
+            proxy.set_exception(error)
+
+    # ------------------------------------------------------------------
+    # Cache warming
+    # ------------------------------------------------------------------
+    def warm(
+        self, forms: Iterable[CanonicalForm], wait: bool = False
+    ) -> Dict[str, Any]:
+        """Pre-schedule every distinct uncached form; report what happened.
+
+        With ``wait=True`` the call blocks until every scheduled search has
+        completed (errors are swallowed into the ``failed`` count — warming
+        is best-effort); otherwise it returns immediately while the backend
+        fills the cache in the background.
+        """
+        unique: Dict[str, CanonicalForm] = {}
+        for form in forms:
+            unique.setdefault(form.key, form)
+        jobs = [self.submit(form) for form in unique.values()]
+        summary = {
+            "unique_keys": len(unique),
+            "already_cached": sum(1 for job in jobs if job.kind == JOB_CACHE_HIT),
+            "shared": sum(1 for job in jobs if job.kind == JOB_SHARED),
+            "scheduled": sum(1 for job in jobs if job.kind == JOB_SCHEDULED),
+            "waited": bool(wait),
+        }
+        if wait:
+            failed = 0
+            for job in jobs:
+                try:
+                    job.result()
+                except Exception:  # noqa: BLE001 - warming is best-effort
+                    failed += 1
+            summary["failed"] = failed
+        return summary
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no job is in flight; ``True`` when idle was reached.
+
+        Work submitted while draining extends the wait (snapshot-and-wait
+        loop), so ``True`` means a moment of genuine quiescence was observed.
+        """
+        start = time.monotonic()
+        while True:
+            with self._lock:
+                pending = list(self._in_flight.values())
+            if not pending:
+                return True
+            remaining: Optional[float] = None
+            if timeout is not None:
+                remaining = timeout - (time.monotonic() - start)
+                if remaining <= 0:
+                    return False
+            futures_wait(pending, timeout=remaining)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Number of searches currently scheduled or running."""
+        with self._lock:
+            return len(self._in_flight)
+
+    def stats_payload(self) -> Dict[str, Any]:
+        """Live scheduler + backend report (the ``workers`` stats section)."""
+        in_flight = self.in_flight
+        workers = self.backend.workers
+        payload = self.backend.describe()
+        payload.update(self.stats.as_dict())
+        payload["in_flight"] = in_flight
+        payload["utilization"] = min(1.0, in_flight / workers) if workers else 0.0
+        return payload
+
+    def close(self) -> None:
+        """Shut the backend down (waiting for in-flight searches)."""
+        self.backend.close()
+
+    def __enter__(self) -> "ClassificationScheduler":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

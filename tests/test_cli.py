@@ -149,6 +149,63 @@ def test_cache_max_entries_bounds_the_cache_file(tmp_path, capsys):
     assert len(on_disk["entries"]) <= 3
 
 
+def test_cache_stats_and_compact_subcommands(tmp_path, capsys):
+    """`cache stats` / `cache compact` maintain a file without classifying."""
+    batch_file = tmp_path / "many.txt"
+    batch_file.write_text("1 : 2 2\n2 : 1 1\n---\n1 : 1 1\n---\n2 : 2 2\n")
+    cache_file = tmp_path / "cache.json"
+    assert main(["classify-batch", str(batch_file), "--cache", str(cache_file)]) == 0
+    capsys.readouterr()
+
+    assert main(["cache", "stats", "--cache", str(cache_file), "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    # "2 : 2 2" is a renaming of "1 : 1 1": two canonical orbits, not three.
+    assert stats["entries"] == 2
+    assert stats["file_bytes"] > 0
+    bytes_before = stats["file_bytes"]
+
+    assert (
+        main(
+            [
+                "cache",
+                "compact",
+                "--cache",
+                str(cache_file),
+                "--cache-max-entries",
+                "1",
+                "--json",
+            ]
+        )
+        == 0
+    )
+    report = json.loads(capsys.readouterr().out)
+    assert report["entries"] == 1
+    assert report["bytes_before"] == bytes_before
+    assert report["bytes_after"] < bytes_before
+
+    assert main(["cache", "stats", "--cache", str(cache_file)]) == 0
+    plain = capsys.readouterr().out
+    assert "entries:  1" in plain
+
+
+def test_cache_stats_missing_file_is_a_clean_error(tmp_path, capsys):
+    assert main(["cache", "stats", "--cache", str(tmp_path / "nope.json")]) == 1
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_worker_backend_flags_agree_with_serial(capsys):
+    """A threads-backend census tallies identically to the serial one."""
+    base = ["census", "--labels", "2", "--count", "25", "--json"]
+    assert main(base) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert main(base + ["--worker-backend", "threads", "--workers", "2"]) == 0
+    threaded = json.loads(capsys.readouterr().out)
+    assert threaded["counts"] == serial["counts"]
+    assert threaded["stats"]["workers"]["backend"] == "threads"
+    assert threaded["stats"]["workers"]["workers"] == 2
+    assert serial["stats"]["workers"]["backend"] == "inline"
+
+
 def test_serve_and_client_parser_wiring():
     parser = build_parser()
     serve_args = parser.parse_args(
@@ -156,6 +213,39 @@ def test_serve_and_client_parser_wiring():
     )
     assert serve_args.stdio is True
     assert serve_args.cache_max_entries == 10
+    assert serve_args.worker_backend is None
+    assert serve_args.workers is None
+
+    serve_args = parser.parse_args(
+        ["serve", "--worker-backend", "processes", "--workers", "3"]
+    )
+    assert serve_args.worker_backend == "processes"
+    assert serve_args.workers == 3
+
+    batch_args = parser.parse_args(
+        ["classify-batch", "problems/", "--worker-backend", "threads", "--workers", "2"]
+    )
+    assert batch_args.worker_backend == "threads"
+    assert batch_args.workers == 2
+
+    warm_args = parser.parse_args(
+        [
+            "client",
+            "--connect",
+            "localhost:8765",
+            "warm",
+            "--census",
+            "--count",
+            "50",
+            "--wait",
+        ]
+    )
+    assert warm_args.census is True
+    assert warm_args.wait is True
+    assert warm_args.count == 50
+
+    with pytest.raises(SystemExit):
+        parser.parse_args(["census", "--worker-backend", "gpu"])
 
     client_args = parser.parse_args(
         ["client", "--connect", "localhost:8765", "census", "--count", "5"]
@@ -198,6 +288,37 @@ def test_serve_and_client_over_tcp(tmp_path, capsys):
         assert main(["client", "--connect", connect, "stats", "--json"]) == 0
         stats = json.loads(capsys.readouterr().out)
         assert stats["cache"]["entries"] == 1
+        assert stats["workers"]["backend"] == "threads"
+
+        assert (
+            main(
+                [
+                    "client",
+                    "--connect",
+                    connect,
+                    "warm",
+                    "--census",
+                    "--count",
+                    "10",
+                    "--wait",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["count"] == 10
+        assert warm["waited"] is True
+
+        assert (
+            main(["client", "--connect", connect, "census", "--count", "10", "--json"])
+            == 0
+        )
+        census = json.loads(capsys.readouterr().out)
+        assert census["hit_rate"] == 1.0  # fully warmed above
+
+        assert main(["client", "--connect", connect, "warm"]) == 2
+        assert "provide a batch source" in capsys.readouterr().err
 
         assert main(["client", "--connect", connect, "shutdown"]) == 0
         assert "service shut down" in capsys.readouterr().out

@@ -1,11 +1,14 @@
-"""Tests for the classification service: protocol, server, client, streaming."""
+"""Tests for the classification service: protocol, server, client, streaming,
+concurrent clients (single-flight), and cache warming."""
 
 import json
+import threading
+import time
 
 import pytest
 
 from repro.core import classify
-from repro.engine import ClassificationCache, problem_to_dict
+from repro.engine import ClassificationCache, canonical_key, problem_to_dict
 from repro.problems import catalog
 from repro.problems.random_problems import random_problem
 from repro.service import ServiceClient, ServiceError, ThreadedService
@@ -174,6 +177,12 @@ class TestServiceOverTcp:
         assert payload["service"]["requests_served"] == 2  # classify + stats
         assert payload["batch"]["submitted"] == 1
         assert payload["cache"]["entries"] == 1
+        # The workers section reports the pool configuration and live counters.
+        workers = payload["workers"]
+        assert workers["backend"] == "threads"  # the service default
+        assert workers["workers"] >= 1
+        assert workers["scheduled"] == 1
+        assert workers["in_flight"] == 0
 
     def test_error_frames_for_bad_requests(self):
         with ThreadedService() as address:
@@ -211,13 +220,212 @@ class TestServiceOverTcp:
 
 
 # ----------------------------------------------------------------------
+# Concurrent clients: single-flight across connections
+# ----------------------------------------------------------------------
+class TestConcurrentClients:
+    CENSUS = {"labels": 2, "delta": 2, "density": 0.5, "count": 20, "seed": 11}
+    CLIENTS = 4
+
+    def _expected_problems(self):
+        return [
+            random_problem(
+                self.CENSUS["labels"],
+                delta=self.CENSUS["delta"],
+                density=self.CENSUS["density"],
+                seed=self.CENSUS["seed"] + index,
+            )
+            for index in range(self.CENSUS["count"])
+        ]
+
+    def test_hammering_clients_cost_one_search_per_canonical_key(self):
+        """Acceptance: N clients x same census == one engine search per orbit.
+
+        Every client must receive a complete, in-order item stream (no
+        dropped or duplicated frames), and the scheduler stats must show
+        exactly ``len(unique canonical keys)`` searches — the rest answered
+        by the cache or by single-flight sharing, with no global lock.
+        """
+        expected = self._expected_problems()
+        unique_keys = {canonical_key(problem) for problem in expected}
+        frames_by_client = [None] * self.CLIENTS
+        errors = []
+
+        with ThreadedService(backend="threads", workers=4) as address:
+
+            def hammer(slot):
+                try:
+                    with ServiceClient.connect_tcp(*address) as client:
+                        request_id = client._send_request("census", self.CENSUS)
+                        frames_by_client[slot] = list(client.frames(request_id))
+                except Exception as error:  # noqa: BLE001 - surfaced below
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=hammer, args=(slot,))
+                for slot in range(self.CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not any(thread.is_alive() for thread in threads)
+            assert not errors, errors
+
+            with ServiceClient.connect_tcp(*address) as client:
+                stats = client.stats()
+
+        count = self.CENSUS["count"]
+        for frames in frames_by_client:
+            # Complete in-order stream: no dropped or duplicated item frames.
+            assert [frame["type"] for frame in frames] == ["item"] * count + ["done"]
+            assert [frame["seq"] for frame in frames[:-1]] == list(range(count))
+        streams = [
+            [frame["data"]["complexity"] for frame in frames[:-1]]
+            for frames in frames_by_client
+        ]
+        assert all(stream == streams[0] for stream in streams)
+        assert streams[0] == [
+            classify(problem).complexity.value for problem in expected
+        ]
+        # Single flight: searches run == unique canonical keys, exactly.
+        workers = stats["workers"]
+        assert workers["scheduled"] == len(unique_keys), workers
+        assert workers["submitted"] == self.CLIENTS * count
+        assert workers["deduped"] + workers["cache_hits"] == (
+            self.CLIENTS * count - len(unique_keys)
+        )
+        assert stats["batch"]["full_searches"] == len(unique_keys)
+
+    def test_concurrent_distinct_problems_all_answer(self):
+        """Clients with disjoint workloads proceed concurrently and correctly."""
+        specs_by_slot = [
+            [problem_to_dict(random_problem(3, density=0.3, seed=100 * slot + i))
+             for i in range(6)]
+            for slot in range(3)
+        ]
+        summaries = [None] * 3
+        with ThreadedService(backend="threads", workers=4) as address:
+
+            def run(slot):
+                with ServiceClient.connect_tcp(*address) as client:
+                    summaries[slot] = client.classify_batch(specs_by_slot[slot])
+
+            threads = [threading.Thread(target=run, args=(slot,)) for slot in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+        for slot, summary in enumerate(summaries):
+            assert summary is not None
+            assert summary["count"] == 6
+            assert [item["complexity"] for item in summary["items"]] == [
+                classify(
+                    random_problem(3, density=0.3, seed=100 * slot + i)
+                ).complexity.value
+                for i in range(6)
+            ]
+
+
+# ----------------------------------------------------------------------
+# Cache warming
+# ----------------------------------------------------------------------
+class TestWarm:
+    CENSUS = {"labels": 2, "delta": 2, "density": 0.5, "count": 15, "seed": 3}
+
+    def test_warm_census_then_census_is_answered_from_cache(self):
+        with ThreadedService() as address:
+            with ServiceClient.connect_tcp(*address) as client:
+                warm = client.warm(census=self.CENSUS, wait=True)
+                assert warm["count"] == 15
+                assert warm["waited"] is True
+                assert warm["scheduled"] == warm["unique_keys"] > 0
+                assert warm["already_cached"] == 0
+                summary = client.census(**self.CENSUS)
+                assert summary["hit_rate"] == 1.0
+                # Warming again is a no-op: everything is already cached.
+                rewarm = client.warm(census=self.CENSUS, wait=True)
+                assert rewarm["scheduled"] == 0
+                assert rewarm["already_cached"] == rewarm["unique_keys"]
+
+    def test_warm_problem_list_then_batch_is_all_hits(self):
+        problems = [random_problem(2, density=0.5, seed=seed) for seed in range(8)]
+        specs = [problem_to_dict(problem) for problem in problems]
+        with ThreadedService() as address:
+            with ServiceClient.connect_tcp(*address) as client:
+                warm = client.warm(problems=specs, wait=True)
+                assert warm["count"] == 8
+                summary = client.classify_batch(specs)
+        assert summary["hit_rate"] == 1.0
+        assert [item["complexity"] for item in summary["items"]] == [
+            classify(problem).complexity.value for problem in problems
+        ]
+
+    def test_background_warm_fills_the_cache(self, tmp_path):
+        path = tmp_path / "warm-cache.json"
+        with ThreadedService(cache=ClassificationCache(path=str(path))) as address:
+            with ServiceClient.connect_tcp(*address) as client:
+                warm = client.warm(census=self.CENSUS, wait=False)
+                assert warm["waited"] is False
+                # Poll the live stats until the background searches drain.
+                deadline = time.monotonic() + 60
+                while time.monotonic() < deadline:
+                    if client.stats()["workers"]["in_flight"] == 0:
+                        break
+                    time.sleep(0.02)
+                summary = client.census(**self.CENSUS)
+                assert summary["hit_rate"] == 1.0
+        # The background completion also persisted the cache file.
+        assert path.exists()
+
+    def test_background_warm_survives_immediate_shutdown(self, tmp_path):
+        """Warmed results reach the cache file even when shutdown races them."""
+        path = tmp_path / "race-cache.json"
+        service = ThreadedService(cache=ClassificationCache(path=str(path)))
+        address = service.start()
+        with ServiceClient.connect_tcp(*address) as client:
+            warm = client.warm(census=self.CENSUS, wait=False)
+            assert warm["scheduled"] > 0
+            client.shutdown()
+        service.stop()
+        # Shutdown drains the worker pool and re-saves, losing no entries.
+        entries = json.loads(path.read_text())["entries"]
+        assert len(entries) >= warm["unique_keys"]
+
+    def test_inline_backend_service_still_serves_and_streams(self):
+        """--worker-backend inline keeps the v1 classify-then-stream behavior."""
+        _problems, specs = _batch_specs(count=6)
+        with ThreadedService(backend="inline") as address:
+            with ServiceClient.connect_tcp(*address) as client:
+                streamed = []
+                summary = client.classify_batch(specs, on_item=streamed.append)
+                stats = client.stats()
+        assert summary["count"] == 6
+        assert len(streamed) == 6
+        assert stats["workers"]["backend"] == "inline"
+
+    def test_warm_requires_a_workload(self):
+        with ThreadedService() as address:
+            with ServiceClient.connect_tcp(*address) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.request("warm", {})
+                assert excinfo.value.code == ERROR_BAD_REQUEST
+                with pytest.raises(ServiceError):
+                    client.request("warm", {"problems": []})
+                with pytest.raises(ServiceError):
+                    client.request("warm", {"census": "not an object"})
+                # The connection survives and still serves.
+                assert client.classify("1 : 1 1")["complexity"] == "O(1)"
+
+
+# ----------------------------------------------------------------------
 # Stdio end-to-end
 # ----------------------------------------------------------------------
 class TestServiceOverStdio:
     def test_spawned_stdio_service_round_trip(self, tmp_path):
         path = tmp_path / "stdio-cache.json"
         with ServiceClient.spawn_stdio(cache=str(path)) as client:
-            assert client.server_info["protocol"] == 1
+            assert client.server_info["protocol"] == 2
+            assert "warm" in client.server_info["ops"]
             fresh = client.classify("1 : 2 2\n2 : 1 1")
             cached = client.classify("1 : 2 2\n2 : 1 1")
             summary = client.classify_batch(["1 : 1 1", "1 : 2 2\n2 : 1 1"])

@@ -1,0 +1,383 @@
+"""Tests for the parallel execution subsystem: backends + single-flight scheduler."""
+
+import threading
+
+import pytest
+
+from repro.core import classify
+from repro.engine import BatchClassifier, ClassificationCache, canonical_form
+from repro.problems import catalog
+from repro.problems.random_problems import random_problem
+from repro.workers import (
+    BACKEND_NAMES,
+    JOB_CACHE_HIT,
+    JOB_SCHEDULED,
+    JOB_SHARED,
+    ClassificationScheduler,
+    InlineBackend,
+    ProcessBackend,
+    ThreadBackend,
+    create_backend,
+)
+
+
+def _square(value):
+    """Module-level so the process backend can pickle it."""
+    return value * value
+
+
+def _boom(_value):
+    raise RuntimeError("boom")
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class TestBackends:
+    def test_inline_resolves_synchronously(self):
+        backend = InlineBackend()
+        future = backend.submit(_square, 7)
+        assert future.done()
+        assert future.result() == 49
+
+    def test_inline_captures_exceptions_in_the_future(self):
+        future = InlineBackend().submit(_boom, 0)
+        assert future.done()
+        with pytest.raises(RuntimeError, match="boom"):
+            future.result()
+
+    def test_thread_backend_runs_tasks_concurrently(self):
+        """Two mutually-waiting tasks only finish if they truly overlap."""
+        first_running = threading.Event()
+        second_running = threading.Event()
+
+        def task_a():
+            first_running.set()
+            assert second_running.wait(timeout=10)
+            return "a"
+
+        def task_b():
+            second_running.set()
+            assert first_running.wait(timeout=10)
+            return "b"
+
+        with ThreadBackend(workers=2) as backend:
+            futures = [backend.submit(task_a), backend.submit(task_b)]
+            assert [future.result(timeout=10) for future in futures] == ["a", "b"]
+
+    def test_process_backend_round_trip(self):
+        with ProcessBackend(workers=2) as backend:
+            futures = [backend.submit(_square, value) for value in range(5)]
+            assert [future.result(timeout=60) for future in futures] == [
+                0, 1, 4, 9, 16,
+            ]
+
+    def test_process_backend_propagates_task_errors(self):
+        with ProcessBackend(workers=1) as backend:
+            with pytest.raises(RuntimeError, match="boom"):
+                backend.submit(_boom, 0).result(timeout=60)
+
+    def test_create_backend_spellings(self):
+        assert create_backend(None).name == "inline"
+        assert create_backend(None, workers=1).name == "inline"
+        # Asking for parallelism without naming a backend implies threads.
+        implied = create_backend(None, workers=3)
+        assert implied.name == "threads" and implied.workers == 3
+        implied.close()
+        for name in BACKEND_NAMES:
+            backend = create_backend(name, workers=2)
+            assert backend.name == name
+            backend.close()
+
+    def test_create_backend_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown worker backend"):
+            create_backend("gpu")
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(workers=0)
+
+    def test_probe_spawns_the_pool_eagerly(self):
+        backend = ProcessBackend(workers=1)
+        assert backend._executor is None  # lazy until probed
+        backend.probe()
+        assert backend._executor is not None or backend.degraded
+        backend.close()
+        InlineBackend().probe()  # a no-op everywhere else
+        thread_backend = ThreadBackend(workers=1)
+        thread_backend.probe()
+        thread_backend.close()
+
+    def test_process_backend_rejects_submits_after_close(self):
+        backend = ProcessBackend(workers=1)
+        assert backend.submit(_square, 2).result(timeout=60) == 4
+        backend.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.submit(_square, 2)
+
+    def test_synchronous_flag_marks_inline_execution(self):
+        assert InlineBackend().synchronous is True
+        thread_backend = ThreadBackend(workers=1)
+        assert thread_backend.synchronous is False
+        thread_backend.close()
+        process_backend = ProcessBackend(workers=1)
+        assert process_backend.synchronous is False  # flips only on degrade
+        process_backend.close()
+
+    def test_describe_reports_configuration(self):
+        backend = ThreadBackend(workers=2)
+        assert backend.describe() == {"backend": "threads", "workers": 2}
+        backend.close()
+        process_backend = ProcessBackend(workers=2)
+        assert process_backend.describe()["degraded"] is False
+        process_backend.close()
+
+
+# ----------------------------------------------------------------------
+# Single-flight scheduler (controlled fake search task)
+# ----------------------------------------------------------------------
+def _form(seed=0, labels=2):
+    return canonical_form(random_problem(labels, density=0.5, seed=seed))
+
+
+class TestSingleFlight:
+    def test_concurrent_submissions_share_one_search(self):
+        """The heart of the subsystem: N waiters, exactly one execution."""
+        started = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def slow_task(task):
+            calls.append(task[0])
+            started.set()
+            assert release.wait(timeout=10)
+            return task[0], {"complexity": "CONSTANT"}
+
+        with ThreadBackend(workers=2) as backend:
+            scheduler = ClassificationScheduler(backend=backend, task=slow_task)
+            form = _form()
+            first = scheduler.submit(form)
+            assert first.kind == JOB_SCHEDULED
+            assert started.wait(timeout=10)
+            sharers = [scheduler.submit(form) for _ in range(5)]
+            assert all(job.kind == JOB_SHARED for job in sharers)
+            assert scheduler.in_flight == 1
+            release.set()
+            payloads = [job.result(timeout=10) for job in [first, *sharers]]
+
+        assert calls == [form.key]  # exactly one search ran
+        assert all(payload["complexity"] == "CONSTANT" for payload in payloads)
+        assert scheduler.stats.scheduled == 1
+        assert scheduler.stats.deduped == 5
+        assert scheduler.stats.completed == 1
+        # The result landed in the cache: the next submission is a plain hit.
+        assert scheduler.submit(form).kind == JOB_CACHE_HIT
+        assert scheduler.stats.cache_hits == 1
+
+    def test_distinct_keys_run_concurrently(self):
+        """No global lock: two different keys proceed in parallel."""
+        both_running = threading.Barrier(2, timeout=10)
+
+        def lockstep_task(task):
+            both_running.wait()  # deadlocks (and times out) if serialized
+            return task[0], {"complexity": "CONSTANT"}
+
+        with ThreadBackend(workers=2) as backend:
+            scheduler = ClassificationScheduler(backend=backend, task=lockstep_task)
+            jobs = [scheduler.submit(_form(seed=1)), scheduler.submit(_form(seed=3))]
+            assert jobs[0].key != jobs[1].key
+            for job in jobs:
+                job.result(timeout=10)
+        assert scheduler.stats.scheduled == 2
+
+    def test_failure_propagates_to_every_sharer_and_clears_the_key(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def failing_task(task):
+            started.set()
+            assert release.wait(timeout=10)
+            raise RuntimeError("search exploded")
+
+        with ThreadBackend(workers=1) as backend:
+            scheduler = ClassificationScheduler(backend=backend, task=failing_task)
+            form = _form()
+            first = scheduler.submit(form)
+            assert started.wait(timeout=10)
+            sharer = scheduler.submit(form)
+            release.set()
+            for job in (first, sharer):
+                with pytest.raises(RuntimeError, match="search exploded"):
+                    job.result(timeout=10)
+            assert scheduler.stats.failed == 1
+            assert scheduler.in_flight == 0
+            # A failed key is not poisoned: the next submission retries.
+            started.clear()
+            retry = scheduler.submit(form)
+            assert retry.kind == JOB_SCHEDULED
+            with pytest.raises(RuntimeError):
+                retry.result(timeout=10)
+
+    def test_cache_hit_short_circuits_the_backend(self):
+        def never_called(task):  # pragma: no cover - the point of the test
+            raise AssertionError("backend should not run for cached keys")
+
+        form = _form()
+        cache = ClassificationCache()
+        cache.store(form.key, {"complexity": "CONSTANT"})
+        scheduler = ClassificationScheduler(cache=cache, task=never_called)
+        job = scheduler.submit(form)
+        assert job.kind == JOB_CACHE_HIT
+        assert job.done
+        assert job.result()["complexity"] == "CONSTANT"
+
+    def test_warm_schedules_only_missing_orbits(self):
+        forms = [_form(seed=1), _form(seed=3), _form(seed=3)]  # one duplicate
+        scheduler = ClassificationScheduler()  # inline backend, real searches
+        first = scheduler.warm([forms[0]], wait=True)
+        assert first == {
+            "unique_keys": 1,
+            "already_cached": 0,
+            "shared": 0,
+            "scheduled": 1,
+            "waited": True,
+            "failed": 0,
+        }
+        second = scheduler.warm(forms, wait=True)
+        assert second["unique_keys"] == len({form.key for form in forms})
+        assert second["already_cached"] == 1
+        assert second["scheduled"] == second["unique_keys"] - 1
+        # Everything is cached now: a third warm is a pure no-op.
+        third = scheduler.warm(forms, wait=True)
+        assert third["scheduled"] == 0
+        assert third["already_cached"] == third["unique_keys"]
+
+    def test_wait_idle(self):
+        release = threading.Event()
+
+        def slow_task(task):
+            assert release.wait(timeout=10)
+            return task[0], {"complexity": "CONSTANT"}
+
+        with ThreadBackend(workers=1) as backend:
+            scheduler = ClassificationScheduler(backend=backend, task=slow_task)
+            assert scheduler.wait_idle(timeout=0.1)  # idle before any work
+            job = scheduler.submit(_form())
+            assert not scheduler.wait_idle(timeout=0.2)  # still running
+            release.set()
+            assert scheduler.wait_idle(timeout=10)
+            assert job.done
+
+    def test_stats_payload_shape(self):
+        scheduler = ClassificationScheduler()
+        scheduler.submit(_form())
+        payload = scheduler.stats_payload()
+        assert payload["backend"] == "inline"
+        assert payload["workers"] == 1
+        assert payload["scheduled"] == 1
+        assert payload["submitted"] == 1
+        assert payload["in_flight"] == 0
+        assert 0.0 <= payload["utilization"] <= 1.0
+
+
+# ----------------------------------------------------------------------
+# BatchClassifier on top of the scheduler
+# ----------------------------------------------------------------------
+class TestClassifierBackends:
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_every_backend_agrees_with_direct_classification(self, backend):
+        problems = [random_problem(3, density=0.25, seed=seed) for seed in range(10)]
+        with BatchClassifier(backend=backend, workers=2) as classifier:
+            items = classifier.classify_many(problems)
+        assert [item.result.complexity for item in items] == [
+            classify(problem).complexity for problem in problems
+        ]
+
+    def test_legacy_processes_argument_maps_to_process_backend(self):
+        with BatchClassifier(processes=2) as classifier:
+            assert classifier.scheduler.backend.name == "processes"
+            assert classifier.scheduler.backend.workers == 2
+        with BatchClassifier(processes=1) as serial:
+            assert serial.scheduler.backend.name == "inline"
+
+    def test_submit_item_resolves_to_the_same_result(self):
+        problem, expected = catalog()["mis"]
+        with BatchClassifier(backend="threads", workers=2) as classifier:
+            pending = classifier.submit_item(problem)
+            item = pending.result(timeout=60)
+        assert item.result.complexity == expected
+        assert not item.from_cache
+        assert pending.done
+
+    def test_classifiers_sharing_a_scheduler_share_its_cache(self):
+        scheduler = ClassificationScheduler()
+        problem = catalog()["mis"][0]
+        first = BatchClassifier(scheduler=scheduler)
+        second = BatchClassifier(scheduler=scheduler)
+        assert not first.classify_item(problem).from_cache
+        hit = second.classify_item(problem)
+        assert hit.from_cache
+        assert second.stats.full_searches == 0
+        assert first.cache is second.cache
+
+    def test_concurrent_classify_item_calls_single_flight(self):
+        """Threads hammering one classifier trigger one search per orbit."""
+        problems = [random_problem(2, density=0.5, seed=seed) for seed in range(12)]
+        unique_keys = {canonical_form(problem).key for problem in problems}
+        with BatchClassifier(backend="threads", workers=4) as classifier:
+            results = [None] * 4
+            def hammer(slot):
+                results[slot] = [
+                    classifier.classify_item(problem).result.complexity
+                    for problem in problems
+                ]
+            threads = [
+                threading.Thread(target=hammer, args=(slot,)) for slot in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert all(not thread.is_alive() for thread in threads)
+            stats = classifier.scheduler.stats
+        assert all(result == results[0] for result in results)
+        assert results[0] == [classify(problem).complexity for problem in problems]
+        # Single flight: one search per distinct canonical key, ever.
+        assert stats.scheduled == len(unique_keys)
+        assert stats.submitted == 4 * len(problems)
+
+    def test_closing_a_classifier_spares_a_shared_scheduler(self):
+        """Context-exit of one sharer must not kill the common worker pool."""
+        backend = ThreadBackend(workers=1)
+        scheduler = ClassificationScheduler(backend=backend)
+        try:
+            with BatchClassifier(scheduler=scheduler) as first:
+                first.classify(catalog()["mis"][0])
+            # The shared backend must still accept work after `first` closed.
+            survivor = BatchClassifier(scheduler=scheduler)
+            item = survivor.classify_item(catalog()["2-coloring"][0])
+            assert item.result.complexity is not None
+        finally:
+            scheduler.close()
+
+    def test_closing_a_classifier_spares_an_injected_backend_instance(self):
+        """Same contract when sharing a bare backend instead of a scheduler."""
+        backend = ThreadBackend(workers=1)
+        try:
+            with BatchClassifier(backend=backend) as first:
+                first.classify(catalog()["mis"][0])
+            survivor = BatchClassifier(backend=backend)
+            item = survivor.classify_item(catalog()["2-coloring"][0])
+            assert item.result.complexity is not None
+            survivor.close()  # does not own the backend either
+            assert backend.submit(_square, 3).result(timeout=10) == 9
+        finally:
+            backend.close()
+
+    def test_stats_report_includes_workers_section(self):
+        with BatchClassifier(backend="threads", workers=2) as classifier:
+            classifier.classify(catalog()["mis"][0])
+            report = classifier.stats_report()
+        assert report["workers"]["backend"] == "threads"
+        assert report["workers"]["scheduled"] == 1
+        assert report["batch"]["full_searches"] == 1
