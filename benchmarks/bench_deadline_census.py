@@ -1,0 +1,89 @@
+"""Deadline-aware census: one adversarial key must not stall the sweep.
+
+The acceptance scenario of the deadline/priority PR: a census that contains
+one *adversarially hard* problem (:func:`repro.problems.hard_problem` — an
+``Ω(2^{2·pairs})`` label-subset sweep, ~9 s at ``pairs=6``) is run with a 2 s
+per-key deadline.  The hard key must report ``timeout`` while every other
+draw classifies correctly, and the total wall-clock must stay within the
+deadline plus pool latency — i.e. the deadline actually reclaims the worker
+instead of letting the pathological search pin it.
+
+A second benchmark measures the reclaim latency itself: how long after the
+deadline the scheduler takes to resolve a doomed search on the cooperative
+``threads`` backend and on the hard-killing ``processes`` backend.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import classify
+from repro.engine import BatchClassifier
+from repro.problems import hard_problem
+from repro.problems.random_problems import random_problem
+
+DEADLINE_SECONDS = 2.0
+# Pool latency + checkpoint granularity + CI machine variance.  The point of
+# the assertion is the order of magnitude: an enforced deadline finishes in
+# ~deadline seconds, an unenforced one in the ~9 s the hard search needs.
+SLACK_SECONDS = 4.0
+
+
+def _census_problems(count=20):
+    return [random_problem(2, density=0.5, seed=seed) for seed in range(count)]
+
+
+def _deadline_census():
+    problems = _census_problems()
+    hard = hard_problem(6)
+    with BatchClassifier(backend="threads", workers=4) as classifier:
+        items = classifier.classify_many(
+            [*problems, hard], priority="batch", deadline=DEADLINE_SECONDS
+        )
+    return items
+
+
+def test_census_with_hard_key_completes_within_deadline(benchmark):
+    start = time.monotonic()
+    items = benchmark.pedantic(_deadline_census, rounds=1, iterations=1)
+    elapsed = time.monotonic() - start
+
+    *census_items, hard_item = items
+    # The hard key blew its budget and says so; nothing else did.
+    assert hard_item.outcome == "timeout"
+    assert all(item.ok for item in census_items)
+    # Every ordinary draw classifies exactly as the direct classifier says.
+    expected = [classify(problem).complexity for problem in _census_problems()]
+    assert [item.result.complexity for item in census_items] == expected
+    # The whole sweep finished in ~deadline time, not in hard-search time.
+    assert elapsed < DEADLINE_SECONDS + SLACK_SECONDS, (
+        f"census took {elapsed:.1f}s — the deadline did not reclaim the worker"
+    )
+
+
+def _timeout_reclaim_latency(backend: str) -> float:
+    """Seconds past the deadline until the doomed search resolves."""
+    deadline = 0.5
+    with BatchClassifier(backend=backend, workers=2) as classifier:
+        start = time.monotonic()
+        item = classifier.classify_item(hard_problem(6), deadline=deadline)
+        elapsed = time.monotonic() - start
+    assert item.outcome == "timeout"
+    return max(0.0, elapsed - deadline)
+
+
+def test_timeout_reclaim_latency_threads(benchmark):
+    latency = benchmark.pedantic(
+        lambda: _timeout_reclaim_latency("threads"), rounds=1, iterations=1
+    )
+    # Cooperative cancellation: the search unwinds at its next checkpoint.
+    assert latency < 2.0, f"threads reclaim lagged {latency:.2f}s past deadline"
+
+
+def test_timeout_reclaim_latency_processes(benchmark):
+    latency = benchmark.pedantic(
+        lambda: _timeout_reclaim_latency("processes"), rounds=1, iterations=1
+    )
+    # Hard kill: terminate() plus watcher poll, bounded regardless of the
+    # search's willingness to checkpoint.
+    assert latency < 2.0, f"processes reclaim lagged {latency:.2f}s past deadline"

@@ -41,15 +41,23 @@ anything: ``cache stats`` reports entry counts and file size, ``cache
 compact`` rewrites the file from the (optionally re-bounded) in-memory state
 and reports the bytes reclaimed.
 
+Because the certificate searches are exponential in the worst case, every
+classification command accepts ``--deadline SECONDS`` (a per-canonical-key
+search budget; blown budgets report outcome ``timeout`` — exit code 124 for
+single classifies — and never poison the cache) and ``--priority
+{interactive,batch,warm}`` (the scheduling class used when searches contend
+for workers; censuses default to ``warm``, the lowest).
+
 ``serve`` runs the long-running classification service of
 :mod:`repro.service` — a JSON-lines protocol over stdio or TCP in which one
 persistent cache is shared by every client, batch/census responses stream
 item by item, and searches fan out on the service's worker backend with
-single-flight deduplication per canonical key (spec:
-``docs/service_protocol.md``).  ``client`` is its command-line counterpart:
-it connects to a running service and exposes the same
-classify/batch/census surface, plus ``warm`` (pre-populate the service cache
-ahead of a batch or census), ``stats`` and ``shutdown``.
+single-flight deduplication per canonical key, priority scheduling, and
+deadline enforcement (spec: ``docs/service_protocol.md``).  ``client`` is
+its command-line counterpart: it connects to a running service and exposes
+the same classify/batch/census surface, plus ``warm`` (pre-populate the
+service cache ahead of a batch or census), ``cancel`` (detach an in-flight
+request by id), ``stats`` and ``shutdown``.
 """
 
 from __future__ import annotations
@@ -73,9 +81,14 @@ from .problems.random_problems import random_problem
 from .service.client import ServiceClient, ServiceError
 from .service.server import ClassificationService
 from .workers.backends import BACKEND_NAMES
+from .workers.scheduler import PRIORITIES
 
 BATCH_SEPARATOR = "---"
 """Line separating problem blocks inside a multi-problem batch file."""
+
+TIMEOUT_EXIT_CODE = 124
+"""Exit status when a requested classification blew its ``--deadline``
+(matching the convention of GNU ``timeout``)."""
 
 
 def _read_problem(source: str) -> LCLProblem:
@@ -191,7 +204,50 @@ def _report(problem: LCLProblem) -> str:
     return "\n".join(lines)
 
 
+def _classify_single_with_options(args: argparse.Namespace) -> int:
+    """Classify one problem through the engine (honoring priority/deadline)."""
+    problem = _read_problem(args.problem)
+    with BatchClassifier() as classifier:
+        item = classifier.classify_item(
+            problem, priority=args.priority or "interactive", deadline=args.deadline
+        )
+    if args.json:
+        payload: Dict[str, Any] = {
+            "problem": problem_to_dict(problem),
+            "outcome": item.outcome,
+            "complexity": item.result.complexity.value if item.ok else None,
+            "details": item.result.describe() if item.ok else None,
+            "result": result_to_dict(item.result) if item.ok else None,
+            "elapsed_ms": item.elapsed_seconds * 1000.0,
+        }
+        print(json.dumps(payload, indent=2))
+    elif item.ok:
+        print(_report_item(problem, item))
+    else:
+        print(f"problem:    {problem.summary()}")
+        print(f"outcome:    {item.outcome} (deadline {args.deadline}s)")
+    return 0 if item.ok else TIMEOUT_EXIT_CODE
+
+
+def _report_item(problem: LCLProblem, item: BatchItem) -> str:
+    lines = [
+        f"problem:    {problem.summary()}",
+        f"complexity: {item.result.complexity.value}",
+        f"details:    {item.result.describe()}",
+        f"time:       {item.elapsed_seconds * 1000:.2f} ms",
+    ]
+    return "\n".join(lines)
+
+
 def _run_classify(args: argparse.Namespace) -> int:
+    if args.catalog and (args.deadline is not None or args.priority is not None):
+        # The catalog path classifies directly (no scheduler), so silently
+        # ignoring the flags would fake a safety net that is not there.
+        print(
+            "error: --deadline/--priority cannot be combined with --catalog",
+            file=sys.stderr,
+        )
+        return 2
     if args.catalog:
         rows = []
         for name, (problem, expected) in catalog().items():
@@ -220,6 +276,10 @@ def _run_classify(args: argparse.Namespace) -> int:
     if not args.problem:
         print("error: provide a problem file, '-' for stdin, or --catalog", file=sys.stderr)
         return 2
+    if args.deadline is not None or args.priority is not None:
+        # Route through the engine: the scheduler enforces the deadline
+        # cooperatively and reports a structured timeout outcome.
+        return _classify_single_with_options(args)
     problem = _read_problem(args.problem)
     if args.json:
         print(json.dumps(_classification_payload(problem), indent=2))
@@ -232,8 +292,19 @@ def _run_classify(args: argparse.Namespace) -> int:
 # classify-batch
 # ----------------------------------------------------------------------
 def _batch_item_payload(item: BatchItem) -> Dict[str, Any]:
+    if not item.ok:
+        return {
+            "name": item.problem.name,
+            "outcome": item.outcome,
+            "complexity": None,
+            "details": None,
+            "from_cache": False,
+            "canonical_key": item.canonical_key,
+            "result": None,
+        }
     return {
         "name": item.problem.name,
+        "outcome": item.outcome,
         "complexity": item.result.complexity.value,
         "details": item.result.describe(),
         "from_cache": item.from_cache,
@@ -242,25 +313,35 @@ def _batch_item_payload(item: BatchItem) -> Dict[str, Any]:
     }
 
 
+def _item_line_fields(item: BatchItem) -> tuple:
+    """The ``[origin] name class`` triple of one report line."""
+    if not item.ok:
+        return item.outcome, item.problem.name, f"({item.outcome})"
+    origin = "cached" if item.from_cache else "search"
+    return origin, item.problem.name, item.result.complexity.value
+
+
 def _print_batch_report(items: List[BatchItem], classifier: BatchClassifier) -> None:
     for item in items:
-        origin = "cached" if item.from_cache else "search"
-        print(
-            f"[{origin}] {item.problem.name:28s} {item.result.complexity.value:16s}"
-        )
+        origin, name, value = _item_line_fields(item)
+        print(f"[{origin}] {name:28s} {value:16s}")
     stats = classifier.stats_report()
     batch, cache = stats["batch"], stats["cache"]
+    interrupted = sum(1 for item in items if not item.ok)
+    suffix = f"; {interrupted} timed out/cancelled" if interrupted else ""
     print(
         f"\n{batch['submitted']} problem(s), {batch['full_searches']} full search(es), "
         f"{batch['amortized']} amortized ({batch['speedup']:.1f}x); "
-        f"cache hit rate {cache['hit_rate']:.0%}"
+        f"cache hit rate {cache['hit_rate']:.0%}{suffix}"
     )
 
 
 def _run_classify_batch(args: argparse.Namespace) -> int:
     problems = _read_batch(args.source)
     with _make_classifier(args) as classifier:
-        items = classifier.classify_many(problems)
+        items = classifier.classify_many(
+            problems, priority=args.priority or "batch", deadline=args.deadline
+        )
     _save_cache(classifier)
     if args.json:
         payload = {
@@ -287,11 +368,15 @@ def _run_census(args: argparse.Namespace) -> int:
         for index in range(args.count)
     ]
     with _make_classifier(args) as classifier:
-        items = classifier.classify_many(problems)
+        # A census is bulk work: schedule it at the lowest class by default
+        # so an interactive classify sharing the scheduler overtakes it.
+        items = classifier.classify_many(
+            problems, priority=args.priority or "warm", deadline=args.deadline
+        )
     _save_cache(classifier)
     counts: Dict[str, int] = {}
     for item in items:
-        value = item.result.complexity.value
+        value = item.result.complexity.value if item.ok else item.outcome
         counts[value] = counts.get(value, 0) + 1
     if args.json:
         payload = {
@@ -408,23 +493,45 @@ def _parse_connect(value: str) -> tuple:
 
 
 def _print_item_line(item: Dict[str, Any]) -> None:
+    if item.get("outcome", "ok") != "ok":
+        print(
+            f"[{item['outcome']}] {item['name']:28s} ({item['outcome']})", flush=True
+        )
+        return
     origin = "cached" if item["from_cache"] else "search"
     print(f"[{origin}] {item['name']:28s} {item['complexity']:16s}", flush=True)
 
 
 def _print_stream_summary(summary: Dict[str, Any]) -> None:
+    interrupted = summary.get("timeouts", 0) + summary.get("cancelled", 0)
+    suffix = f", {interrupted} timed out/cancelled" if interrupted else ""
     print(
         f"\n{summary['count']} problem(s): {summary['cache_hits']} cache hit(s), "
         f"{summary['cache_misses']} miss(es) (hit rate {summary['hit_rate']:.0%})"
+        f"{suffix}"
     )
+
+
+def _deadline_ms(args: argparse.Namespace) -> Optional[float]:
+    """The --deadline seconds flag as the protocol's ``deadline_ms`` field."""
+    return args.deadline * 1000.0 if args.deadline is not None else None
 
 
 def _client_classify(args: argparse.Namespace, client: ServiceClient) -> int:
     problem = _read_problem(args.problem)
-    payload = client.classify(problem_to_dict(problem))
+    payload = client.classify(
+        problem_to_dict(problem),
+        priority=args.priority,
+        deadline_ms=_deadline_ms(args),
+    )
+    timed_out = payload.get("outcome", "ok") != "ok"
     if args.json:
         print(json.dumps(payload, indent=2))
-        return 0
+        return TIMEOUT_EXIT_CODE if timed_out else 0
+    if timed_out:
+        print(f"problem:    {payload['name']}")
+        print(f"outcome:    {payload['outcome']}")
+        return TIMEOUT_EXIT_CODE
     print(f"problem:    {payload['name']}")
     print(f"complexity: {payload['complexity']}")
     print(f"details:    {payload['details']}")
@@ -434,12 +541,13 @@ def _client_classify(args: argparse.Namespace, client: ServiceClient) -> int:
 
 def _client_batch(args: argparse.Namespace, client: ServiceClient) -> int:
     specs = [problem_to_dict(problem) for problem in _read_batch(args.source)]
+    options = {"priority": args.priority, "deadline_ms": _deadline_ms(args)}
     if args.json:
         items: List[Dict[str, Any]] = []
-        summary = client.classify_batch(specs, on_item=items.append)
+        summary = client.classify_batch(specs, on_item=items.append, **options)
         print(json.dumps({"items": items, "summary": summary}, indent=2))
         return 0
-    summary = client.classify_batch(specs, on_item=_print_item_line)
+    summary = client.classify_batch(specs, on_item=_print_item_line, **options)
     _print_stream_summary(summary)
     return 0
 
@@ -451,6 +559,8 @@ def _client_census(args: argparse.Namespace, client: ServiceClient) -> int:
         "density": args.density,
         "count": args.count,
         "seed": args.seed,
+        "priority": args.priority,
+        "deadline_ms": _deadline_ms(args),
     }
     if args.json:
         summary = client.census(**kwargs)
@@ -462,6 +572,22 @@ def _client_census(args: argparse.Namespace, client: ServiceClient) -> int:
         print(f"  {value:16s} {count:5d}")
     _print_stream_summary(summary)
     return 0
+
+
+def _client_cancel(args: argparse.Namespace, client: ServiceClient) -> int:
+    request_id = int(args.request_id) if args.request_id.isdigit() else args.request_id
+    payload = client.cancel(request_id)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    if payload["found"]:
+        print(
+            f"cancelled request {payload['request_id']}: "
+            f"{payload['cancelled']} search(es) detached"
+        )
+        return 0
+    print(f"request {payload['request_id']} is not in flight (already done?)")
+    return 1
 
 
 def _client_warm(args: argparse.Namespace, client: ServiceClient) -> int:
@@ -560,7 +686,30 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         help="legacy alias for --worker-backend processes --workers N",
     )
     _add_worker_flags(parser)
+    _add_scheduling_flags(parser)
     _add_cache_flags(parser)
+
+
+def _add_scheduling_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--priority",
+        choices=PRIORITIES,
+        default=None,
+        help=(
+            "scheduling class for the searches (interactive > batch > warm; "
+            "default: interactive for classify, batch for batches, warm for censuses)"
+        ),
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-canonical-key search budget; a key whose search exceeds it "
+            "reports outcome 'timeout' instead of blocking everything behind it"
+        ),
+    )
 
 
 def _add_worker_flags(parser: argparse.ArgumentParser) -> None:
@@ -618,6 +767,7 @@ def build_parser() -> argparse.ArgumentParser:
     classify_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON output"
     )
+    _add_scheduling_flags(classify_parser)
     classify_parser.set_defaults(handler=_run_classify)
 
     batch_parser = subparsers.add_parser(
@@ -728,6 +878,7 @@ def build_parser() -> argparse.ArgumentParser:
         "problem", help="path to a problem file, or '-' to read standard input"
     )
     client_classify.add_argument("--json", action="store_true")
+    _add_scheduling_flags(client_classify)
     client_classify.set_defaults(client_handler=_client_classify)
 
     client_batch = client_sub.add_parser(
@@ -738,6 +889,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory of *.txt problem files, a '---'-separated batch file, or '-'",
     )
     client_batch.add_argument("--json", action="store_true")
+    _add_scheduling_flags(client_batch)
     client_batch.set_defaults(client_handler=_client_batch)
 
     client_census = client_sub.add_parser(
@@ -749,7 +901,19 @@ def build_parser() -> argparse.ArgumentParser:
     client_census.add_argument("--count", type=int, default=100)
     client_census.add_argument("--seed", type=int, default=0)
     client_census.add_argument("--json", action="store_true")
+    _add_scheduling_flags(client_census)
     client_census.set_defaults(client_handler=_client_census)
+
+    client_cancel = client_sub.add_parser(
+        "cancel",
+        help="cancel an in-flight request by its id (use a second connection)",
+    )
+    client_cancel.add_argument(
+        "request_id",
+        help="id of the in-flight request (numeric ids are matched as integers)",
+    )
+    client_cancel.add_argument("--json", action="store_true")
+    client_cancel.set_defaults(client_handler=_client_cancel)
 
     client_warm = client_sub.add_parser(
         "warm",

@@ -1,5 +1,14 @@
 """Core formalism: LCL problems, certificates, and the complexity classifier."""
 
+from .cancellation import (
+    CancelToken,
+    SearchCancelled,
+    SearchInterrupted,
+    SearchTimeout,
+    cancel_scope,
+    checkpoint,
+    current_token,
+)
 from .configuration import Configuration, Label, configuration, configurations_from_pairs
 from .problem import LCLError, LCLProblem
 from .parser import format_problem, parse_configuration, parse_problem, parse_problem_lines
@@ -35,6 +44,7 @@ from .classifier import (
 )
 
 __all__ = [
+    "CancelToken",
     "CertificateBuilder",
     "CertificateError",
     "CertificateTree",
@@ -49,14 +59,20 @@ __all__ = [
     "Label",
     "LogCertificate",
     "LogCertificateAbsence",
+    "SearchCancelled",
+    "SearchInterrupted",
+    "SearchTimeout",
     "UniformCertificate",
     "build_constant_certificate",
     "build_uniform_certificate",
+    "cancel_scope",
+    "checkpoint",
     "classify",
     "classify_with_certificates",
     "complexity_of",
     "configuration",
     "configurations_from_pairs",
+    "current_token",
     "find_certificate_builder",
     "find_constant_certificate_builder",
     "find_log_certificate",

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Tuple
 
+from .cancellation import checkpoint
 from .configuration import Configuration, Label
 from .problem import LCLProblem
 from .logstar_certificate import (
@@ -39,6 +40,7 @@ def find_constant_certificate_builder(
     configuration as the required leaf label.
     """
     for subset in candidate_label_subsets(problem):
+        checkpoint()
         restricted = problem.restrict(subset)
         specials = special_configurations_of(restricted)
         if not specials:

@@ -23,6 +23,7 @@ from typing import List, Optional, Tuple
 
 from ..automata.flexibility import automaton_of, path_flexible_labels, path_inflexible_labels
 from ..automata.semiautomaton import PathAutomaton
+from .cancellation import checkpoint
 from .configuration import Label
 from .problem import LCLProblem
 
@@ -131,6 +132,7 @@ def pruning_sequence(problem: LCLProblem) -> Tuple[List[LCLProblem], List[frozen
     removed: List[frozenset] = []
     current = problem
     while True:
+        checkpoint()
         inflexible = path_inflexible_labels(current)
         if not inflexible or current.is_empty():
             break

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from itertools import combinations, product
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .cancellation import checkpoint
 from .configuration import Configuration, Label
 from .problem import LCLProblem
 
@@ -148,6 +149,10 @@ def find_unrestricted_certificate(
         all_pairs = sorted(known, key=sort_key)
         new_pairs = sorted(newly, key=sort_key)
         for tuple_of_pairs in product(all_pairs, repeat=problem.delta):
+            # The |known|^delta tuple sweep is the exponential heart of
+            # Algorithm 3; poll the cancel scope so a deadline or an explicit
+            # cancellation interrupts the search mid-iteration.
+            checkpoint()
             if not any(pair in newly for pair in tuple_of_pairs):
                 continue
             roots, flag = _derive(problem, tuple_of_pairs)
@@ -197,6 +202,7 @@ def find_certificate_builder(problem: LCLProblem) -> Optional[CertificateBuilder
     (Theorem 6.10), but small in practice.
     """
     for subset in candidate_label_subsets(problem):
+        checkpoint()
         restricted = problem.restrict(subset)
         builder = find_unrestricted_certificate(restricted, special_label=None)
         if builder is not None:

@@ -35,10 +35,12 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional
 
+from ..core.cancellation import SearchInterrupted
 from ..core.complexity import ClassificationResult
 from ..core.problem import LCLProblem
 from ..workers.backends import WorkerBackend, create_backend
 from ..workers.scheduler import (
+    DEFAULT_PRIORITY,
     JOB_SCHEDULED,
     ClassificationJob,
     ClassificationScheduler,
@@ -47,16 +49,32 @@ from .cache import CacheStats, ClassificationCache
 from .canonical import CanonicalForm, canonical_form
 from .serialization import relabel_result, result_from_dict
 
+OUTCOME_OK = "ok"
+OUTCOME_TIMEOUT = "timeout"
+OUTCOME_CANCELLED = "cancelled"
+
 
 @dataclass(frozen=True)
 class BatchItem:
-    """Classification of one submitted problem inside a batch."""
+    """Classification of one submitted problem inside a batch.
+
+    ``outcome`` is ``"ok"`` for a completed classification; a submission
+    whose deadline expired or that was cancelled yields ``"timeout"`` or
+    ``"cancelled"`` with ``result=None`` — the search was interrupted, so
+    there is no (and never will be a cached) answer for it.
+    """
 
     problem: LCLProblem
     canonical_key: str
-    result: ClassificationResult
+    result: Optional[ClassificationResult]
     from_cache: bool
     elapsed_seconds: float = 0.0
+    outcome: str = OUTCOME_OK
+
+    @property
+    def ok(self) -> bool:
+        """Whether the classification completed (``result`` is present)."""
+        return self.outcome == OUTCOME_OK
 
 
 @dataclass
@@ -93,6 +111,14 @@ class BatchStats:
         }
 
 
+def _key_counts(forms: Iterable[CanonicalForm]) -> Dict[str, int]:
+    """Occurrences of each canonical key in a batch."""
+    counts: Dict[str, int] = {}
+    for form in forms:
+        counts[form.key] = counts.get(form.key, 0) + 1
+    return counts
+
+
 def _item_from_payload(
     form: CanonicalForm, payload: Mapping[str, Any], from_cache: bool
 ) -> BatchItem:
@@ -113,7 +139,11 @@ class PendingClassification:
 
     Returned by :meth:`BatchClassifier.submit_item`; :meth:`result` blocks
     until the underlying scheduler job resolves and translates the canonical
-    payload back through this problem's bijection.
+    payload back through this problem's bijection.  A deadline expiry or
+    cancellation does **not** raise: it yields a :class:`BatchItem` whose
+    ``outcome`` is ``"timeout"``/``"cancelled"`` and whose ``result`` is
+    ``None``, so batch consumers can stream partial failures item by item.
+    Genuine search errors still propagate as exceptions.
     """
 
     form: CanonicalForm
@@ -128,9 +158,22 @@ class PendingClassification:
         """Whether this submission was answered without starting a search."""
         return self.job.kind != JOB_SCHEDULED
 
+    def cancel(self) -> bool:
+        """Detach this submission from its search (see ``ClassificationJob``)."""
+        return self.job.cancel()
+
     def result(self, timeout: Optional[float] = None) -> BatchItem:
         """Block until classified; raise what the search raised on failure."""
-        payload = self.job.result(timeout=timeout)
+        try:
+            payload = self.job.result(timeout=timeout)
+        except SearchInterrupted as interrupted:
+            return BatchItem(
+                problem=self.form.problem,
+                canonical_key=self.form.key,
+                result=None,
+                from_cache=False,
+                outcome=interrupted.outcome,
+            )
         return _item_from_payload(self.form, payload, from_cache=self.from_cache)
 
 
@@ -196,22 +239,36 @@ class BatchClassifier:
     # ------------------------------------------------------------------
     def classify(self, problem: LCLProblem) -> ClassificationResult:
         """Classify one problem through the cache (decision only)."""
-        return self.classify_item(problem).result
+        item = self.classify_item(problem)
+        assert item.result is not None  # no deadline was given
+        return item.result
 
-    def classify_item(self, problem: LCLProblem) -> BatchItem:
+    def classify_item(
+        self,
+        problem: LCLProblem,
+        priority: str = DEFAULT_PRIORITY,
+        deadline: Optional[float] = None,
+    ) -> BatchItem:
         """Classify one problem through the cache, with provenance."""
-        return self.submit_item(problem).result()
+        return self.submit_item(problem, priority=priority, deadline=deadline).result()
 
-    def submit_item(self, problem: LCLProblem) -> PendingClassification:
+    def submit_item(
+        self,
+        problem: LCLProblem,
+        priority: str = DEFAULT_PRIORITY,
+        deadline: Optional[float] = None,
+    ) -> PendingClassification:
         """Submit one problem for classification without waiting.
 
-        The search (if one is needed) starts on the worker backend
-        immediately; concurrent submissions of the same renaming orbit share
-        it.  Call :meth:`PendingClassification.result` to collect the
-        translated :class:`BatchItem`.
+        The search (if one is needed) starts on the worker backend as soon
+        as the scheduler admits it (ordered by ``priority``); concurrent
+        submissions of the same renaming orbit share it.  ``deadline`` bounds
+        this submission's total wait in seconds — on expiry the resulting
+        :class:`BatchItem` reports ``outcome="timeout"``.  Call
+        :meth:`PendingClassification.result` to collect the translated item.
         """
         form = canonical_form(problem)
-        job = self.scheduler.submit(form)
+        job = self.scheduler.submit(form, priority=priority, deadline=deadline)
         with self._stats_lock:
             self.stats.submitted += 1
             if job.kind == JOB_SCHEDULED:
@@ -221,12 +278,21 @@ class BatchClassifier:
     # ------------------------------------------------------------------
     # Batch interface
     # ------------------------------------------------------------------
-    def classify_many(self, problems: Iterable[LCLProblem]) -> List[BatchItem]:
+    def classify_many(
+        self,
+        problems: Iterable[LCLProblem],
+        priority: str = DEFAULT_PRIORITY,
+        deadline: Optional[float] = None,
+    ) -> List[BatchItem]:
         """Classify a stream of problems, deduplicating by canonical form.
 
         Results are returned in submission order.  Representatives missing
         from the cache are all scheduled up front, so with a ``threads`` or
         ``processes`` backend they run concurrently while this call waits.
+        ``deadline`` is a per-key budget in seconds: a representative whose
+        search exceeds it yields items with ``outcome="timeout"`` (for every
+        duplicate of that orbit) while the rest of the batch completes
+        normally.
         """
         forms = [canonical_form(problem) for problem in problems]
         with self._stats_lock:
@@ -241,31 +307,56 @@ class BatchClassifier:
         for form in forms:
             first_form_by_key.setdefault(form.key, form)
         jobs: Dict[str, ClassificationJob] = {
-            key: self.scheduler.submit(form)
+            key: self.scheduler.submit(form, priority=priority, deadline=deadline)
             for key, form in first_form_by_key.items()
         }
         searches = sum(1 for job in jobs.values() if job.kind == JOB_SCHEDULED)
         with self._stats_lock:
             self.stats.full_searches += searches
-        # Duplicate submissions of the same orbit are answered from the
-        # captured payloads below; count them as hits now.
-        duplicate_count = len(forms) - len(first_form_by_key)
-        self.cache.add_hits(duplicate_count)
 
-        payload_by_key = {key: job.result() for key, job in jobs.items()}
+        payload_by_key: Dict[str, Optional[Dict[str, Any]]] = {}
+        outcome_by_key: Dict[str, str] = {}
+        for key, job in jobs.items():
+            try:
+                payload_by_key[key] = job.result()
+            except SearchInterrupted as interrupted:
+                payload_by_key[key] = None
+                outcome_by_key[key] = interrupted.outcome
+        # Duplicate submissions of the same orbit are answered from the
+        # captured payloads; count them as hits only once their
+        # representative actually resolved (a timed-out orbit produced no
+        # answer, so its duplicates are not hits).
+        duplicate_hits = sum(
+            count - 1
+            for key, count in _key_counts(forms).items()
+            if count > 1 and payload_by_key[key] is not None
+        )
+        self.cache.add_hits(duplicate_hits)
 
         items: List[BatchItem] = []
         fresh_keys = {
             key for key, job in jobs.items() if job.kind == JOB_SCHEDULED
         }
         for form in forms:
-            items.append(
-                _item_from_payload(
-                    form,
-                    payload_by_key[form.key],
-                    from_cache=form.key not in fresh_keys,
+            payload = payload_by_key[form.key]
+            if payload is None:
+                items.append(
+                    BatchItem(
+                        problem=form.problem,
+                        canonical_key=form.key,
+                        result=None,
+                        from_cache=False,
+                        outcome=outcome_by_key[form.key],
+                    )
                 )
-            )
+            else:
+                items.append(
+                    _item_from_payload(
+                        form,
+                        payload,
+                        from_cache=form.key not in fresh_keys,
+                    )
+                )
             fresh_keys.discard(form.key)  # only the first occurrence is "fresh"
         return items
 

@@ -1,5 +1,6 @@
 """Problem catalog and random problem generators."""
 
+from .adversarial import hard_problem
 from .catalog import (
     branch_two_coloring,
     catalog,
@@ -30,6 +31,7 @@ __all__ = [
     "catalog",
     "coloring",
     "figure2_combined_problem",
+    "hard_problem",
     "hierarchical_two_and_half_coloring",
     "maximal_independent_set",
     "num_possible_configurations",

@@ -1,0 +1,62 @@
+"""Adversarially expensive problems: small descriptions, huge searches.
+
+The decision procedure is exponential in the worst case, but random draws and
+the paper's samples all classify in milliseconds — which makes it hard to
+exercise the parts of the system that exist precisely *because* searches can
+explode: per-key deadlines, cancellation, priority scheduling, and the
+starvation scenarios the scheduler must survive.
+
+:func:`hard_problem` builds a tunable family that reliably hits the
+exponential label-subset sweep of Algorithm 4.  It combines
+
+* the *branch 2-coloring* core (Section 1.4) — classified ``Θ(log n)``, so
+  Algorithm 2 finds a log certificate and the classifier proceeds to the
+  exponential ``O(log* n)`` search, which must then fail for **every**
+  candidate label subset before the class is decided — with
+* ``pairs`` disjoint decoy 2-cycles ``aᵢ : bᵢ bᵢ`` / ``bᵢ : aᵢ aᵢ``.  Each
+  decoy label has an infinite continuation (the two labels alternate down any
+  branch), so all of them enter Algorithm 4's candidate universe, doubling
+  the number of subsets to sweep per pair — yet no subset ever yields a
+  certificate: a 2-cycle only derives singleton root sets, and the decoys
+  also prune away in Algorithm 2 (period-2 paths are inflexible), leaving
+  the ``Θ(log n)`` core as the final answer.
+
+The classification time therefore grows as ``Ω(2^{2·pairs})`` while the
+problem description stays linear in ``pairs``.  Measured on one core of a
+2025-vintage container: ``pairs=5`` ≈ 1.4 s, ``pairs=6`` ≈ 9 s, ``pairs=7``
+≈ 47 s, ``pairs=8`` > 60 s.  Pick the smallest size that dwarfs the deadline
+under test so the outcome does not depend on machine speed.
+"""
+
+from __future__ import annotations
+
+import string
+
+from ..core.problem import LCLProblem
+from .catalog import branch_two_coloring
+
+HARD_COMPLEXITY_NOTE = "Theta(log n)"
+"""The true class of every :func:`hard_problem` instance (the core's class)."""
+
+
+def hard_problem(pairs: int = 6) -> LCLProblem:
+    """Branch 2-coloring plus ``pairs`` decoy 2-cycles (``Θ(log n)``, slow).
+
+    ``pairs`` may be 0 (just the core) up to 13 (the decoy alphabet is drawn
+    from the 26 lowercase letters).  See the module docstring for why the
+    search time doubles per pair while the answer never changes.
+    """
+    if not 0 <= pairs <= 13:
+        raise ValueError(f"pairs must be between 0 and 13, got {pairs}")
+    core = branch_two_coloring(delta=2)
+    configurations = [(c.parent, c.children) for c in core.configurations]
+    letters = string.ascii_lowercase
+    for index in range(pairs):
+        first, second = letters[2 * index], letters[2 * index + 1]
+        configurations.append((first, (second, second)))
+        configurations.append((second, (first, first)))
+    return LCLProblem.create(
+        delta=2,
+        configurations=configurations,
+        name=f"adversarial-{pairs}-pairs",
+    )

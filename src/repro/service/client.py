@@ -186,28 +186,61 @@ class ServiceClient:
                 )
         raise ServiceError("connection-closed", "stream ended without a terminal frame")
 
+    @staticmethod
+    def _scheduling_params(
+        params: Dict[str, Any],
+        priority: Optional[str],
+        deadline_ms: Optional[float],
+    ) -> Dict[str, Any]:
+        """Attach the protocol-v3 scheduling fields when given (else v2 wire)."""
+        if priority is not None:
+            params["priority"] = priority
+        if deadline_ms is not None:
+            params["deadline_ms"] = deadline_ms
+        return params
+
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
-    def classify(self, problem: Any) -> Dict[str, Any]:
-        """Classify one problem (text or serialized dict); return its payload."""
-        return self.request("classify", problem_params(problem))
+    def classify(
+        self,
+        problem: Any,
+        priority: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Classify one problem (text or serialized dict); return its payload.
+
+        ``priority`` (``interactive``/``batch``/``warm``; the server defaults
+        a bare classify to ``interactive``) and ``deadline_ms`` bound how the
+        search is scheduled; a blown deadline returns a payload with
+        ``outcome: "timeout"`` and ``complexity: null``.
+        """
+        params = self._scheduling_params(
+            problem_params(problem), priority, deadline_ms
+        )
+        return self.request("classify", params)
 
     def classify_batch(
         self,
         problems: Sequence[Any],
         on_item: Optional[Callable[[Dict[str, Any]], None]] = None,
+        priority: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Classify a batch, streaming per-item payloads to ``on_item``.
 
         Returns the ``done`` summary (count, cache hits/misses, ``hit_rate``,
-        lifetime engine stats).  When ``on_item`` is omitted the collected
-        items are attached to the summary under ``"items"``.
+        ``timeouts``/``cancelled``, lifetime engine stats).  When ``on_item``
+        is omitted the collected items are attached to the summary under
+        ``"items"``.  ``deadline_ms`` is a per-canonical-key search budget.
         """
         collected: List[Dict[str, Any]] = []
         callback = on_item if on_item is not None else collected.append
         specs = [problem_params(problem)["problem"] for problem in problems]
-        summary = self.request("classify_batch", {"problems": specs}, callback)
+        params = self._scheduling_params(
+            {"problems": specs}, priority, deadline_ms
+        )
+        summary = self.request("classify_batch", params, callback)
         if on_item is None:
             summary["items"] = collected
         return summary
@@ -220,8 +253,16 @@ class ServiceClient:
         count: int = 100,
         seed: int = 0,
         on_item: Optional[Callable[[Dict[str, Any]], None]] = None,
+        priority: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> Dict[str, Any]:
-        """Run a server-side random census; return the tally summary."""
+        """Run a server-side random census; return the tally summary.
+
+        The server schedules a census at ``warm`` (lowest) priority unless
+        overridden, so it never starves interactive classifies.  With
+        ``deadline_ms``, keys whose search blows the budget tally under
+        ``"timeout"`` in the counts while the rest complete.
+        """
         params = {
             "labels": labels,
             "delta": delta,
@@ -229,13 +270,25 @@ class ServiceClient:
             "count": count,
             "seed": seed,
         }
+        self._scheduling_params(params, priority, deadline_ms)
         return self.request("census", params, on_item)
+
+    def cancel(self, request_id: Any) -> Dict[str, Any]:
+        """Cancel an in-flight request by id (necessarily from another client).
+
+        Returns ``{"request_id", "found", "cancelled"}``; ``found: false``
+        means nothing with that id was in flight (already finished, or never
+        existed) — cancellation is racy by nature, so that is not an error.
+        """
+        return self.request("cancel", {"request_id": request_id})
 
     def warm(
         self,
         problems: Optional[Sequence[Any]] = None,
         census: Optional[Dict[str, Any]] = None,
         wait: bool = False,
+        priority: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Pre-populate the service cache ahead of a batch or census.
 
@@ -253,6 +306,7 @@ class ServiceClient:
             ]
         if census is not None:
             params["census"] = dict(census)
+        self._scheduling_params(params, priority, deadline_ms)
         return self.request("warm", params)
 
     def stats(self) -> Dict[str, Any]:

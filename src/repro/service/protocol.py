@@ -29,15 +29,25 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Tuple
 
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 """Version of the JSON-lines protocol, announced in the ``hello`` frame.
 
-Version 2 adds the ``warm`` operation (cache pre-population ahead of a
-batch/census), a ``workers`` section in ``stats`` responses, and concurrent
-execution semantics: the server no longer serializes classification behind a
-process-wide lock — independent requests proceed in parallel and concurrent
-requests for the same uncached canonical problem share a single search.
-Version-1 clients remain wire-compatible: every v1 frame shape is unchanged.
+Version 3 adds deadline-aware priority scheduling and cancellation:
+
+* ``classify``, ``classify_batch``, ``census`` and ``warm`` accept optional
+  ``params.priority`` (``"interactive"``/``"batch"``/``"warm"``) and
+  ``params.deadline_ms`` (per-canonical-key search budget) fields;
+* a new ``cancel`` operation addresses an *in-flight* request by its id
+  (from another connection) and detaches its outstanding searches;
+* item frames (and single ``classify`` results) carry an ``outcome`` field:
+  ``"ok"``, or ``"timeout"``/``"cancelled"`` with ``complexity: null`` when
+  the search was interrupted — a *timeout item frame*; streaming summaries
+  gain ``timeouts``/``cancelled`` counts.
+
+Version-2 clients remain wire-compatible: requests without the new fields
+behave exactly as protocol 2 (the extra ``outcome: "ok"`` item field and
+summary counters are additive).  Version 2 added ``warm``, the ``workers``
+stats section, and lock-free concurrent execution semantics.
 """
 
 SERVICE_NAME = "repro-classifier"
@@ -47,6 +57,7 @@ OPERATIONS: Tuple[str, ...] = (
     "classify_batch",
     "census",
     "warm",
+    "cancel",
     "stats",
     "shutdown",
 )

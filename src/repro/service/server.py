@@ -22,6 +22,15 @@ same uncached canonical key share exactly one search.  The process-wide work
 lock of protocol version 1 is gone — the cache and scheduler synchronize
 internally.  The ``warm`` operation pre-schedules a future batch or census's
 canonical keys so the shared cache is hot before the real request arrives.
+
+Protocol version 3 exposes the scheduler's fairness controls: every
+scheduling operation accepts ``priority`` (``interactive`` > ``batch`` >
+``warm``; per-op defaults match those classes) and ``deadline_ms`` (a per-
+canonical-key search budget — blown budgets stream as ``outcome: "timeout"``
+items instead of stalling the request), and the ``cancel`` operation detaches
+an in-flight request's searches when addressed — from a second connection —
+by its request id.  Interrupted searches release their workers and are never
+written to the cache.
 When the cache has a backing path it is persisted after every request that
 classified something new (the LRU budget keeps the file small; pure cache-hit
 requests skip the rewrite) and again on shutdown, so a killed service loses
@@ -42,12 +51,13 @@ from typing import Any, Awaitable, Callable, Dict, IO, List, Mapping, Optional, 
 
 from ..core.parser import parse_problem
 from ..core.problem import LCLError, LCLProblem
-from ..engine.batch import BatchClassifier, BatchItem
+from ..engine.batch import BatchClassifier, BatchItem, PendingClassification
 from ..engine.cache import ClassificationCache
 from ..engine.canonical import canonical_form
 from ..engine.serialization import problem_from_dict, result_to_dict
 from ..problems.random_problems import random_problem
 from ..workers.backends import DEFAULT_WORKERS
+from ..workers.scheduler import PRIORITIES
 from .protocol import (
     ERROR_BAD_PROBLEM,
     ERROR_BAD_REQUEST,
@@ -71,9 +81,26 @@ _SendFrame = Callable[[Dict[str, Any]], Awaitable[None]]
 
 
 def item_payload(item: BatchItem) -> Dict[str, Any]:
-    """The JSON-friendly ``data`` object of one classified problem."""
+    """The JSON-friendly ``data`` object of one classified problem.
+
+    An interrupted search (``outcome`` of ``"timeout"``/``"cancelled"``)
+    yields a *timeout item frame*: same shape, ``complexity``/``details``/
+    ``result`` are ``None`` — the classification does not exist.
+    """
+    if not item.ok:
+        return {
+            "name": item.problem.name,
+            "outcome": item.outcome,
+            "complexity": None,
+            "details": None,
+            "from_cache": False,
+            "canonical_key": item.canonical_key,
+            "result": None,
+            "elapsed_ms": item.elapsed_seconds * 1000.0,
+        }
     return {
         "name": item.problem.name,
+        "outcome": item.outcome,
         "complexity": item.result.complexity.value,
         "details": item.result.describe(),
         "from_cache": item.from_cache,
@@ -81,6 +108,27 @@ def item_payload(item: BatchItem) -> Dict[str, Any]:
         "result": result_to_dict(item.result),
         "elapsed_ms": item.elapsed_seconds * 1000.0,
     }
+
+
+class _ActiveRequest:
+    """One in-flight streaming/classify request, addressable by ``cancel``.
+
+    ``pendings`` collects the scheduler submissions made for the request;
+    ``cancel_requested`` tells a sequentially-streaming handler (synchronous
+    backend) to stop submitting further items.  All mutation happens on the
+    service's event loop thread.
+    """
+
+    __slots__ = ("pendings", "cancel_requested")
+
+    def __init__(self) -> None:
+        self.pendings: List[PendingClassification] = []
+        self.cancel_requested = False
+
+    def cancel(self) -> int:
+        """Detach every live submission; return how many were detached."""
+        self.cancel_requested = True
+        return sum(1 for pending in self.pendings if pending.cancel())
 
 
 class ClassificationService:
@@ -122,6 +170,10 @@ class ClassificationService:
         self.scheduler.backend.probe()
         self.requests_served = 0
         self.started_at = time.monotonic()
+        # In-flight requests addressable by `cancel`, keyed by request id.
+        # Ids are client-chosen, so several connections may reuse one id;
+        # cancel then targets all of them.  Only touched on the loop thread.
+        self._active_requests: Dict[Any, List[_ActiveRequest]] = {}
         self._shutdown_event: Optional[asyncio.Event] = None
         self._writers: List[asyncio.StreamWriter] = []
         self._connection_tasks: "set" = set()
@@ -131,15 +183,75 @@ class ClassificationService:
     # ------------------------------------------------------------------
     # Engine access
     # ------------------------------------------------------------------
-    async def _classify(self, problem: LCLProblem) -> BatchItem:
+    async def _classify(
+        self,
+        problem: LCLProblem,
+        priority: str = "interactive",
+        deadline: Optional[float] = None,
+        active: Optional[_ActiveRequest] = None,
+    ) -> BatchItem:
         """Classify one problem off the event loop.
 
         No global lock: the scheduler single-flights per canonical key, so
         concurrent connections classifying *different* problems proceed in
         parallel, and ones racing on the *same* problem share one search.
+        The submission is recorded on ``active`` (when given) before this
+        coroutine blocks, so a concurrent ``cancel`` can detach it.
         """
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(None, self.classifier.classify_item, problem)
+        pending = await loop.run_in_executor(
+            None,
+            lambda: self.classifier.submit_item(
+                problem, priority=priority, deadline=deadline
+            ),
+        )
+        if active is not None:
+            active.pendings.append(pending)
+            if active.cancel_requested:
+                # A cancel raced the submission: honor it now.
+                pending.cancel()
+        return await loop.run_in_executor(None, pending.result)
+
+    @staticmethod
+    def _request_options(
+        params: Mapping[str, Any], default_priority: str
+    ) -> Tuple[str, Optional[float]]:
+        """Validate the protocol-v3 ``priority``/``deadline_ms`` fields.
+
+        Returns ``(priority, deadline_seconds)``.  Omitted fields fall back
+        to the operation's default priority and no deadline — the exact
+        protocol-v2 behavior.
+        """
+        priority = params.get("priority", default_priority)
+        if priority not in PRIORITIES:
+            raise ProtocolError(
+                ERROR_BAD_REQUEST,
+                f"bad priority {priority!r} (known: {', '.join(PRIORITIES)})",
+            )
+        deadline_ms = params.get("deadline_ms")
+        if deadline_ms is None:
+            return priority, None
+        if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, (int, float)):
+            raise ProtocolError(ERROR_BAD_REQUEST, "deadline_ms must be a number")
+        if deadline_ms <= 0:
+            raise ProtocolError(ERROR_BAD_REQUEST, "deadline_ms must be positive")
+        return priority, deadline_ms / 1000.0
+
+    @contextlib.contextmanager
+    def _track_active(self, request: Request):
+        """Register an in-flight request for ``cancel`` addressing."""
+        active = _ActiveRequest()
+        if request.id is not None:
+            self._active_requests.setdefault(request.id, []).append(active)
+        try:
+            yield active
+        finally:
+            if request.id is not None:
+                entries = self._active_requests.get(request.id, [])
+                if active in entries:
+                    entries.remove(active)
+                if not entries:
+                    self._active_requests.pop(request.id, None)
 
     def _resolve_problem(self, spec: Any, default_name: str) -> LCLProblem:
         """Turn a request's problem spec (text or dict) into an `LCLProblem`."""
@@ -169,14 +281,26 @@ class ClassificationService:
         spec = request.params.get("problem")
         if spec is None:
             raise ProtocolError(ERROR_BAD_REQUEST, "classify requires params.problem")
+        priority, deadline = self._request_options(
+            request.params, default_priority="interactive"
+        )
         problem = self._resolve_problem(spec, default_name="<request>")
-        item = await self._classify(problem)
+        with self._track_active(request) as active:
+            item = await self._classify(
+                problem, priority=priority, deadline=deadline, active=active
+            )
         await send(result_frame(request.id, item_payload(item)))
-        if not item.from_cache:  # a hit adds nothing worth rewriting the file for
+        if item.ok and not item.from_cache:  # a hit/timeout adds nothing to save
             self._save_cache()
 
     async def _stream_items(
-        self, request: Request, problems: List[LCLProblem], send: _SendFrame
+        self,
+        request: Request,
+        problems: List[LCLProblem],
+        send: _SendFrame,
+        priority: str,
+        deadline: Optional[float],
+        active: _ActiveRequest,
     ) -> Dict[str, Any]:
         """Stream one ``item`` frame per problem; return the hit/miss summary.
 
@@ -184,35 +308,79 @@ class ClassificationService:
         representatives fan out across the worker backend; frames are then
         written in submission order as each future resolves, so a slow search
         overlaps with everything behind it instead of serializing the stream.
+        ``deadline`` bounds each canonical key's search; expired or cancelled
+        keys stream as ``outcome: "timeout"``/``"cancelled"`` items while the
+        rest of the request completes normally.
 
         A synchronous backend (``inline``, or a ``processes`` pool that
         degraded to inline execution) runs each search *inside*
         ``submit_item``, so the up-front fan-out would silently hold every
         frame until the whole request finished; those configurations classify
         problem by problem instead, streaming between searches exactly like
-        protocol v1.
+        protocol v1 (there, a ``cancel`` skips the items not yet started but
+        cannot interrupt the search already running).
         """
         loop = asyncio.get_running_loop()
         hits = 0
+        timeouts = 0
+        cancelled = 0
+
+        def tally(item: BatchItem) -> None:
+            nonlocal hits, timeouts, cancelled
+            if item.outcome == "timeout":
+                timeouts += 1
+            elif item.outcome == "cancelled":
+                cancelled += 1
+            else:
+                hits += int(item.from_cache)
+
         if self.scheduler.backend.synchronous:
             for seq, problem in enumerate(problems):
-                item = await self._classify(problem)
-                hits += int(item.from_cache)
+                if active.cancel_requested:
+                    item = BatchItem(
+                        problem=problem,
+                        canonical_key=canonical_form(problem).key,
+                        result=None,
+                        from_cache=False,
+                        outcome="cancelled",
+                    )
+                else:
+                    item = await self._classify(
+                        problem, priority=priority, deadline=deadline, active=active
+                    )
+                tally(item)
                 await send(item_frame(request.id, seq, item_payload(item)))
         else:
             pendings = await loop.run_in_executor(
-                None, lambda: [self.classifier.submit_item(p) for p in problems]
+                None,
+                lambda: [
+                    self.classifier.submit_item(
+                        problem, priority=priority, deadline=deadline
+                    )
+                    for problem in problems
+                ],
             )
+            active.pendings.extend(pendings)
+            if active.cancel_requested:
+                # A cancel raced the up-front fan-out: honor it now.
+                for pending in pendings:
+                    pending.cancel()
             for seq, pending in enumerate(pendings):
                 item = await loop.run_in_executor(None, pending.result)
-                hits += int(item.from_cache)
+                tally(item)
                 await send(item_frame(request.id, seq, item_payload(item)))
         count = len(problems)
+        # One denominator for the whole hit/miss story: the *completed*
+        # items.  Interrupted items are neither hits nor misses, so
+        # hits + misses == completed and hit_rate == hits / (hits + misses).
+        completed = count - timeouts - cancelled
         return {
             "count": count,
             "cache_hits": hits,
-            "cache_misses": count - hits,
-            "hit_rate": hits / count if count else 0.0,
+            "cache_misses": completed - hits,
+            "hit_rate": hits / completed if completed else 0.0,
+            "timeouts": timeouts,
+            "cancelled": cancelled,
         }
 
     async def _handle_classify_batch(self, request: Request, send: _SendFrame) -> None:
@@ -222,13 +390,19 @@ class ClassificationService:
                 ERROR_BAD_REQUEST,
                 "classify_batch requires params.problems: a non-empty list",
             )
+        priority, deadline = self._request_options(
+            request.params, default_priority="batch"
+        )
         # Resolve everything up front so malformed input yields one error
         # frame instead of a half-finished stream.
         problems = [
             self._resolve_problem(spec, default_name=f"<request>#{index + 1}")
             for index, spec in enumerate(specs)
         ]
-        summary = await self._stream_items(request, problems, send)
+        with self._track_active(request) as active:
+            summary = await self._stream_items(
+                request, problems, send, priority, deadline, active
+            )
         summary["stats"] = self.classifier.stats_report()
         await send(done_frame(request.id, summary))
         if summary["cache_misses"]:
@@ -266,14 +440,25 @@ class ClassificationService:
 
     async def _handle_census(self, request: Request, send: _SendFrame) -> None:
         problems, echo_params = self._census_problems(request.params)
+        # A census is bulk background work: it defaults to the lowest
+        # priority class so interactive classifies overtake its fan-out.
+        priority, deadline = self._request_options(
+            request.params, default_priority="warm"
+        )
         counts: Dict[str, int] = {}
 
         async def send_and_tally(frame: Dict[str, Any]) -> None:
-            value = frame["data"]["complexity"]
+            data = frame["data"]
+            # Interrupted items tally under their outcome ("timeout"/
+            # "cancelled") instead of a complexity class.
+            value = data["complexity"] if data["complexity"] else data["outcome"]
             counts[value] = counts.get(value, 0) + 1
             await send(frame)
 
-        summary = await self._stream_items(request, problems, send_and_tally)
+        with self._track_active(request) as active:
+            summary = await self._stream_items(
+                request, problems, send_and_tally, priority, deadline, active
+            )
         summary["counts"] = counts
         summary["params"] = echo_params
         summary["stats"] = self.classifier.stats_report()
@@ -295,6 +480,7 @@ class ClassificationService:
         specs = params.get("problems")
         census = params.get("census")
         wait = bool(params.get("wait", False))
+        priority, deadline = self._request_options(params, default_priority="warm")
         if specs is None and census is None:
             raise ProtocolError(
                 ERROR_BAD_REQUEST, "warm requires params.problems or params.census"
@@ -320,7 +506,10 @@ class ClassificationService:
         summary = await loop.run_in_executor(
             None,
             lambda: self.scheduler.warm(
-                [canonical_form(problem) for problem in problems], wait=wait
+                [canonical_form(problem) for problem in problems],
+                wait=wait,
+                priority=priority,
+                deadline=deadline,
             ),
         )
         summary["count"] = len(problems)
@@ -344,6 +533,42 @@ class ClassificationService:
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, self.scheduler.wait_idle, 600)
         self._save_cache()
+
+    async def _handle_cancel(self, request: Request, send: _SendFrame) -> None:
+        """Cancel an in-flight request by its id (from another connection).
+
+        Requests are processed sequentially per connection, so a ``cancel``
+        necessarily arrives on a *different* connection than the stream it
+        targets (the CLI's ``client cancel`` opens one).  Every submission of
+        the addressed request is detached from its search; searches with no
+        remaining waiters are cancelled and release their worker.  Ids are
+        client-chosen — when several connections share one id, all of them
+        are cancelled.  An id with nothing in flight answers ``found: false``
+        (cancellation is inherently racy, so a miss is not an error).  The
+        ``cancelled`` count covers submissions detached *at response time*: a
+        cancel that races the target's fan-out can report 0 yet still take
+        effect, because the target cancels late-recorded submissions itself
+        when it sees ``cancel_requested``.
+        """
+        target = request.params.get("request_id")
+        if target is None:
+            raise ProtocolError(ERROR_BAD_REQUEST, "cancel requires params.request_id")
+        if not isinstance(target, (str, int)):
+            raise ProtocolError(
+                ERROR_BAD_REQUEST, "cancel params.request_id must be a string or integer"
+            )
+        entries = list(self._active_requests.get(target, []))
+        cancelled = sum(entry.cancel() for entry in entries)
+        await send(
+            result_frame(
+                request.id,
+                {
+                    "request_id": target,
+                    "found": bool(entries),
+                    "cancelled": cancelled,
+                },
+            )
+        )
 
     async def _handle_stats(self, request: Request, send: _SendFrame) -> None:
         await send(result_frame(request.id, self.stats_payload()))
@@ -375,6 +600,7 @@ class ClassificationService:
         "classify_batch": _handle_classify_batch,
         "census": _handle_census,
         "warm": _handle_warm,
+        "cancel": _handle_cancel,
         "stats": _handle_stats,
         "shutdown": _handle_shutdown,
     }

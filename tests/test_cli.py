@@ -325,3 +325,141 @@ def test_serve_and_client_over_tcp(tmp_path, capsys):
     finally:
         service.stop()
     assert cache_file.exists()
+
+
+# ----------------------------------------------------------------------
+# Deadline / priority / cancel (PR 4)
+# ----------------------------------------------------------------------
+def _write_hard_problem(tmp_path):
+    from repro.core.parser import format_problem
+    from repro.problems import hard_problem
+
+    path = tmp_path / "hard.txt"
+    path.write_text(format_problem(hard_problem(6)) + "\n")
+    return path
+
+
+def test_scheduling_flags_parser_wiring():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["classify", "p.txt", "--deadline", "2.5", "--priority", "interactive"]
+    )
+    assert args.deadline == 2.5
+    assert args.priority == "interactive"
+    args = parser.parse_args(["census", "--deadline", "1", "--priority", "warm"])
+    assert args.deadline == 1.0 and args.priority == "warm"
+    args = parser.parse_args(
+        ["classify-batch", "dir/", "--deadline", "0.5", "--priority", "batch"]
+    )
+    assert args.deadline == 0.5 and args.priority == "batch"
+    args = parser.parse_args(
+        ["client", "--connect", "h:1", "classify", "p.txt", "--deadline", "3"]
+    )
+    assert args.deadline == 3.0
+    args = parser.parse_args(["client", "--connect", "h:1", "cancel", "42"])
+    assert args.request_id == "42"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["census", "--priority", "urgent"])
+
+
+def test_classify_deadline_times_out_with_exit_124(tmp_path, capsys):
+    path = _write_hard_problem(tmp_path)
+    assert main(["classify", str(path), "--deadline", "0.2"]) == 124
+    out = capsys.readouterr().out
+    assert "timeout" in out
+
+
+def test_classify_deadline_json_reports_outcome(tmp_path, capsys):
+    path = _write_hard_problem(tmp_path)
+    assert main(["classify", str(path), "--deadline", "0.2", "--json"]) == 124
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["outcome"] == "timeout"
+    assert payload["complexity"] is None
+
+
+def test_classify_with_priority_but_no_deadline_still_classifies(tmp_path, capsys):
+    problem_file = tmp_path / "p.txt"
+    problem_file.write_text("1 : 2 2\n2 : 1 1\n")
+    assert main(["classify", str(problem_file), "--priority", "interactive", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["outcome"] == "ok"
+    assert payload["complexity"] == "n^Theta(1)"
+
+
+def test_classify_batch_deadline_marks_items(tmp_path, capsys):
+    batch_file = tmp_path / "batch.txt"
+    # One fast block plus the adversarial one: only the hard block times out.
+    from repro.core.parser import format_problem
+    from repro.problems import hard_problem
+
+    batch_file.write_text(
+        "# name: easy\n1 : 2 2\n2 : 1 1\n---\n# name: hard\n"
+        + format_problem(hard_problem(6))
+        + "\n"
+    )
+    assert main(["classify-batch", str(batch_file), "--deadline", "1.0", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    outcomes = {item["name"]: item["outcome"] for item in payload["items"]}
+    assert outcomes["easy"] == "ok"
+    assert outcomes["hard"] == "timeout"
+    assert payload["stats"]["workers"]["timeouts"] == 1
+
+
+def test_census_deadline_tallies_timeouts(capsys):
+    # An already-expired budget: every solvable draw reports `timeout`.
+    assert main(
+        ["census", "--labels", "2", "--count", "12", "--deadline", "0.000001", "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    counts = payload["counts"]
+    assert sum(counts.values()) == 12
+    assert counts.get("timeout", 0) > 0
+
+
+def test_client_cancel_round_trip(capsys):
+    """`client cancel` against a live service: unknown ids report not-found."""
+    from repro.service.server import ThreadedService
+
+    service = ThreadedService()
+    host, port = service.start()
+    try:
+        connect = f"{host}:{port}"
+        assert main(["client", "--connect", connect, "cancel", "123"]) == 1
+        assert "not in flight" in capsys.readouterr().out
+        assert main(["client", "--connect", connect, "cancel", "123", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"request_id": 123, "found": False, "cancelled": 0}
+        assert main(["client", "--connect", connect, "shutdown"]) == 0
+        capsys.readouterr()
+    finally:
+        service.stop()
+
+
+def test_client_classify_deadline_over_tcp(tmp_path, capsys):
+    from repro.service.server import ThreadedService
+
+    path = _write_hard_problem(tmp_path)
+    service = ThreadedService(backend="threads", workers=2)
+    host, port = service.start()
+    try:
+        connect = f"{host}:{port}"
+        assert (
+            main(
+                ["client", "--connect", connect, "classify", str(path),
+                 "--deadline", "0.25", "--json"]
+            )
+            == 124
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["outcome"] == "timeout"
+        assert main(["client", "--connect", connect, "shutdown"]) == 0
+        capsys.readouterr()
+    finally:
+        service.stop()
+
+
+def test_classify_catalog_rejects_scheduling_flags(capsys):
+    assert main(["classify", "--catalog", "--deadline", "1"]) == 2
+    assert "--catalog" in capsys.readouterr().err
+    assert main(["classify", "--catalog", "--priority", "interactive"]) == 2
+    assert "--catalog" in capsys.readouterr().err

@@ -1,0 +1,206 @@
+"""Randomized property tests for the scheduler's concurrency invariants.
+
+A seeded harness interleaves submit / duplicate-submit / deadline / cancel
+operations against :class:`ClassificationScheduler` on all three worker
+backends and then asserts the structural invariants that must hold after
+*any* interleaving:
+
+* **No leaked futures** — every job's future resolves (payload or
+  ``SearchInterrupted``); ``wait_idle`` reaches genuine quiescence.
+* **No leaked worker slots** — after the drain, ``slots_in_use == 0`` and
+  the in-flight table is empty, even when searches timed out or were hard
+  killed.
+* **Flight conservation** — every search ever created ends in exactly one
+  terminal outcome: ``flights == completed + failed + cancelled + timeouts``
+  (and nothing unexpectedly ``failed``).
+* **No cross-key mix-ups** — a resolved payload always belongs to the key it
+  was submitted for.
+* **Cache integrity** — exactly the completed searches are cached
+  (interrupted searches never poison the cache).
+* **Single flight** — in interleavings without cancellation, the number of
+  searches equals the number of unique non-cancelled canonical keys, exactly.
+
+The default lane runs a handful of seeds per backend so every CI run fuzzes
+a little; the ``stress`` lane (``pytest -m stress``) sweeps 70 seeds per
+backend — 210 interleavings — with longer op sequences.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core import SearchInterrupted, checkpoint
+from repro.engine import canonical_form
+from repro.problems.random_problems import random_problem
+from repro.workers import (
+    BACKEND_NAMES,
+    JOB_CACHE_HIT,
+    PRIORITIES,
+    ClassificationScheduler,
+    create_backend,
+)
+
+# ----------------------------------------------------------------------
+# The fuzz search task
+# ----------------------------------------------------------------------
+def _fuzz_task(payload):
+    """A deterministic stand-in search: sleeps a key-dependent time.
+
+    Module-level and argument-picklable so the process backend can run it.
+    The sleep happens in small checkpointed slices, so deadlines and
+    cancellation interrupt it exactly like the real certificate searches.
+    The key-derived duration (0–20 ms) makes timing deterministic per key
+    without any cross-process shared state.
+    """
+    key = payload[0]
+    slices = sum(key.encode()) % 5  # 0..4 slices of 5 ms
+    for _ in range(slices):
+        checkpoint()
+        time.sleep(0.005)
+    checkpoint()
+    return key, {"complexity": f"fuzz:{key}"}
+
+
+def _forms(count, labels=3):
+    """A pool of canonical forms with pairwise-distinct keys."""
+    forms, seen, seed = [], set(), 0
+    while len(forms) < count:
+        form = canonical_form(random_problem(labels, density=0.3, seed=seed))
+        if form.key not in seen:
+            seen.add(form.key)
+            forms.append(form)
+        seed += 1
+    return forms
+
+
+_FORM_POOL = _forms(12)
+
+
+# ----------------------------------------------------------------------
+# The harness
+# ----------------------------------------------------------------------
+def _run_interleaving(backend_name, seed, ops, allow_cancellation):
+    """Execute one random op sequence; return nothing, assert everything."""
+    rng = random.Random(seed)
+    workers = rng.randint(1, 4)
+    backend = create_backend(backend_name, workers=workers)
+    scheduler = ClassificationScheduler(backend=backend, task=_fuzz_task)
+    jobs = []  # (job, key)
+    submit_calls = 0
+    try:
+        for _ in range(ops):
+            roll = rng.random()
+            if roll < 0.45 or not jobs:
+                # Submit: fresh key or duplicate of an earlier one.
+                form = rng.choice(_FORM_POOL)
+                priority = rng.choice(PRIORITIES)
+                deadline = None
+                if allow_cancellation and rng.random() < 0.35:
+                    deadline = rng.uniform(0.001, 0.04)
+                jobs.append(
+                    (scheduler.submit(form, priority=priority, deadline=deadline),
+                     form.key)
+                )
+                submit_calls += 1
+            elif allow_cancellation and roll < 0.60:
+                job, _key = rng.choice(jobs)
+                job.cancel()  # may be live, resolved, or a cache hit
+            elif allow_cancellation and roll < 0.68:
+                _job, key = rng.choice(jobs)
+                scheduler.cancel(key)
+            elif roll < 0.80:
+                time.sleep(rng.uniform(0.0, 0.01))
+            else:
+                form = rng.choice(_FORM_POOL)
+                jobs.append((scheduler.submit(form), form.key))
+                submit_calls += 1
+
+        # ------------------------------------------------------------------
+        # Drain, then assert the invariants.
+        # ------------------------------------------------------------------
+        completed_payloads = 0
+        for job, key in jobs:
+            try:
+                payload = job.result(timeout=30)
+            except SearchInterrupted:
+                continue
+            completed_payloads += 1
+            # No cross-key mix-ups: the payload names its own key.
+            assert payload["complexity"] == f"fuzz:{key}", (key, payload)
+        assert completed_payloads >= 1 or allow_cancellation
+
+        assert scheduler.wait_idle(timeout=30), "scheduler never quiesced"
+        assert all(job.future.done() for job, _key in jobs), "leaked futures"
+        assert scheduler.in_flight == 0
+        assert scheduler.slots_in_use == 0, "leaked worker slots"
+
+        stats = scheduler.stats
+        assert stats.submitted == submit_calls
+        assert stats.flights == (
+            stats.completed + stats.failed + stats.cancelled + stats.timeouts
+        ), stats.as_dict()
+        assert stats.failed == 0, stats.as_dict()
+        assert stats.scheduled <= stats.flights
+
+        # Cache integrity: exactly the completed searches are cached.
+        cached_keys = [
+            key for key in {key for _job, key in jobs}
+            if scheduler.cache.peek(key) is not None
+        ]
+        assert len(cached_keys) == stats.completed, stats.as_dict()
+
+        if not allow_cancellation:
+            # Pure single-flight run: one search per unique key, exactly.
+            unique_keys = {key for _job, key in jobs}
+            assert stats.flights == len(unique_keys)
+            assert stats.scheduled == stats.flights
+            assert stats.completed == stats.flights
+            assert stats.timeouts == 0 and stats.cancelled == 0
+            hits_and_shares = stats.deduped + stats.cache_hits
+            assert hits_and_shares == submit_calls - len(unique_keys)
+            assert all(
+                scheduler.cache.peek(key) is not None for key in unique_keys
+            )
+    finally:
+        scheduler.close()
+
+
+# ----------------------------------------------------------------------
+# Default lane: a quick fuzz on every run
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+@pytest.mark.parametrize("seed", range(4))
+def test_fuzz_interleavings_quick(backend_name, seed):
+    _run_interleaving(backend_name, seed, ops=30, allow_cancellation=True)
+
+
+@pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+@pytest.mark.parametrize("seed", range(2))
+def test_fuzz_single_flight_exactness(backend_name, seed):
+    """No cancellation: searches == unique canonical keys, exactly."""
+    _run_interleaving(
+        backend_name, 1000 + seed, ops=25, allow_cancellation=False
+    )
+
+
+def test_cache_hit_jobs_are_uncancellable_and_cheap():
+    """Duplicate of a cached key short-circuits: no flight, no future leak."""
+    scheduler = ClassificationScheduler(task=_fuzz_task)
+    form = _FORM_POOL[0]
+    scheduler.submit(form).result(timeout=10)
+    job = scheduler.submit(form)
+    assert job.kind == JOB_CACHE_HIT
+    assert job.done and job.cancel() is False
+    assert scheduler.stats.flights == 1
+    scheduler.close()
+
+
+# ----------------------------------------------------------------------
+# Stress lane: 70 seeds x 3 backends = 210 interleavings (pytest -m stress)
+# ----------------------------------------------------------------------
+@pytest.mark.stress
+@pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+@pytest.mark.parametrize("seed", range(70))
+def test_fuzz_interleavings_stress(backend_name, seed):
+    _run_interleaving(backend_name, 5000 + seed, ops=60, allow_cancellation=True)

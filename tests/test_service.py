@@ -424,8 +424,9 @@ class TestServiceOverStdio:
     def test_spawned_stdio_service_round_trip(self, tmp_path):
         path = tmp_path / "stdio-cache.json"
         with ServiceClient.spawn_stdio(cache=str(path)) as client:
-            assert client.server_info["protocol"] == 2
+            assert client.server_info["protocol"] == 3
             assert "warm" in client.server_info["ops"]
+            assert "cancel" in client.server_info["ops"]
             fresh = client.classify("1 : 2 2\n2 : 1 1")
             cached = client.classify("1 : 2 2\n2 : 1 1")
             summary = client.classify_batch(["1 : 1 1", "1 : 2 2\n2 : 1 1"])

@@ -1,10 +1,12 @@
-"""Tests for the parallel execution subsystem: backends + single-flight scheduler."""
+"""Tests for the parallel execution subsystem: backends + single-flight
+scheduler, priority ordering, deadlines, cancellation, and slot accounting."""
 
 import threading
+import time
 
 import pytest
 
-from repro.core import classify
+from repro.core import SearchCancelled, SearchTimeout, checkpoint, classify
 from repro.engine import BatchClassifier, ClassificationCache, canonical_form
 from repro.problems import catalog
 from repro.problems.random_problems import random_problem
@@ -13,6 +15,7 @@ from repro.workers import (
     JOB_CACHE_HIT,
     JOB_SCHEDULED,
     JOB_SHARED,
+    PRIORITIES,
     ClassificationScheduler,
     InlineBackend,
     ProcessBackend,
@@ -140,6 +143,18 @@ def _form(seed=0, labels=2):
     return canonical_form(random_problem(labels, density=0.5, seed=seed))
 
 
+def _distinct_forms(count, labels=2, start=0):
+    """``count`` canonical forms with pairwise-distinct keys (seeds scanned)."""
+    forms, seen, seed = [], set(), start
+    while len(forms) < count:
+        form = _form(seed=seed, labels=labels)
+        if form.key not in seen:
+            seen.add(form.key)
+            forms.append(form)
+        seed += 1
+    return forms
+
+
 class TestSingleFlight:
     def test_concurrent_submissions_share_one_search(self):
         """The heart of the subsystem: N waiters, exactly one execution."""
@@ -242,6 +257,7 @@ class TestSingleFlight:
             "scheduled": 1,
             "waited": True,
             "failed": 0,
+            "interrupted": 0,
         }
         second = scheduler.warm(forms, wait=True)
         assert second["unique_keys"] == len({form.key for form in forms})
@@ -278,6 +294,470 @@ class TestSingleFlight:
         assert payload["submitted"] == 1
         assert payload["in_flight"] == 0
         assert 0.0 <= payload["utilization"] <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Priority scheduling
+# ----------------------------------------------------------------------
+def _quick_task_recording(order, lock):
+    """A task that records its key and returns immediately."""
+
+    def task(payload):
+        with lock:
+            order.append(payload[0])
+        return payload[0], {"complexity": "CONSTANT"}
+
+    return task
+
+
+class TestPriorityScheduling:
+    def test_priorities_are_validated(self):
+        scheduler = ClassificationScheduler()
+        with pytest.raises(ValueError, match="unknown priority"):
+            scheduler.submit(_form(), priority="urgent")
+        assert PRIORITIES == ("interactive", "batch", "warm")
+
+    def test_queued_work_dispatches_in_priority_order(self):
+        """With one slot busy, later interactive work overtakes earlier warm."""
+        order = []
+        lock = threading.Lock()
+        started = threading.Event()
+        release = threading.Event()
+
+        distinct = _distinct_forms(4, start=101)
+        forms = {
+            "blocker": distinct[0],
+            "warm": distinct[1],
+            "batch": distinct[2],
+            "interactive": distinct[3],
+        }
+        keys = {name: form.key for name, form in forms.items()}
+        name_of = {key: name for name, key in keys.items()}
+
+        def task(payload):
+            with lock:
+                order.append(payload[0])
+            if payload[0] == keys["blocker"]:
+                started.set()
+                assert release.wait(timeout=10)
+            return payload[0], {"complexity": "CONSTANT"}
+
+        with ThreadBackend(workers=1) as backend:
+            scheduler = ClassificationScheduler(backend=backend, task=task)
+            blocker = scheduler.submit(forms["blocker"], priority="interactive")
+            assert started.wait(timeout=10)
+            # The only slot is busy: these three queue in the priority heap.
+            jobs = [
+                scheduler.submit(forms["warm"], priority="warm"),
+                scheduler.submit(forms["batch"], priority="batch"),
+                scheduler.submit(forms["interactive"], priority="interactive"),
+            ]
+            release.set()
+            for job in [blocker, *jobs]:
+                job.result(timeout=10)
+
+        dispatched = [name_of[key] for key in order]
+        assert dispatched == ["blocker", "interactive", "batch", "warm"]
+
+    def test_duplicate_submission_escalates_a_queued_flight(self):
+        """An interactive duplicate pulls a queued warm search forward."""
+        order = []
+        lock = threading.Lock()
+        started = threading.Event()
+        release = threading.Event()
+        record = _quick_task_recording(order, lock)
+
+        def task(payload):
+            if not started.is_set():
+                started.set()
+                assert release.wait(timeout=10)
+            return record(payload)
+
+        blocker_form, warm_form, batch_form = _distinct_forms(3, start=111)
+        with ThreadBackend(workers=1) as backend:
+            scheduler = ClassificationScheduler(backend=backend, task=task)
+            blocker = scheduler.submit(blocker_form, priority="interactive")
+            assert started.wait(timeout=10)
+            warm = scheduler.submit(warm_form, priority="warm")
+            batch = scheduler.submit(batch_form, priority="batch")
+            # Escalation: a second client needs the warm key interactively.
+            escalated = scheduler.submit(warm_form, priority="interactive")
+            assert escalated.kind == JOB_SHARED
+            release.set()
+            for job in (blocker, warm, batch, escalated):
+                job.result(timeout=10)
+        assert order.index(warm_form.key) < order.index(batch_form.key)
+        assert scheduler.stats.deduped == 1
+
+    def test_classifier_passes_priority_and_deadline_through(self):
+        with BatchClassifier(backend="threads", workers=2) as classifier:
+            item = classifier.classify_item(
+                catalog()["mis"][0], priority="interactive", deadline=30.0
+            )
+        assert item.ok
+        assert item.result is not None
+
+
+# ----------------------------------------------------------------------
+# Deadlines and cancellation
+# ----------------------------------------------------------------------
+def _blocked_task_factory(block_event):
+    """A stub search that blocks on an event *without ever checkpointing* —
+    the worst case: a hung search the scheduler can only abandon."""
+
+    def task(payload):
+        assert block_event.wait(timeout=60)
+        return payload[0], {"complexity": "CONSTANT"}
+
+    return task
+
+
+def _cooperative_slow_task(payload):
+    """Sleeps ~30s in small checkpointed slices; unwinds fast on cancel."""
+    for _ in range(3000):
+        checkpoint()
+        time.sleep(0.01)
+    return payload[0], {"complexity": "CONSTANT"}
+
+
+class TestDeadlinesAndCancellation:
+    def test_deadline_times_out_a_hung_search_and_frees_the_slot(self):
+        """A never-checkpointing search times out; new work still dispatches."""
+        block = threading.Event()
+        with ThreadBackend(workers=2) as backend:
+            scheduler = ClassificationScheduler(
+                backend=backend, task=_blocked_task_factory(block)
+            )
+            hung = scheduler.submit(_form(seed=1), deadline=0.2)
+            with pytest.raises(SearchTimeout):
+                hung.result(timeout=10)
+            assert scheduler.stats.timeouts == 1
+            # The hung key left the in-flight table: a retry is possible.
+            assert scheduler.in_flight == 0
+            retry = scheduler.submit(_form(seed=1))
+            assert retry.kind == JOB_SCHEDULED
+            block.set()
+            retry.result(timeout=10)
+            assert scheduler.wait_idle(timeout=10)
+            assert scheduler.slots_in_use == 0
+
+    def test_cooperative_timeout_reports_timeout_not_failure(self):
+        with ThreadBackend(workers=1) as backend:
+            scheduler = ClassificationScheduler(
+                backend=backend, task=_cooperative_slow_task
+            )
+            job = scheduler.submit(_form(seed=2), deadline=0.15)
+            start = time.monotonic()
+            with pytest.raises(SearchTimeout):
+                job.result(timeout=10)
+            assert scheduler.wait_idle(timeout=10)
+            assert time.monotonic() - start < 5.0
+        assert scheduler.stats.timeouts == 1
+        assert scheduler.stats.failed == 0
+        assert scheduler.stats.completed == 0
+
+    def test_timeout_does_not_poison_the_cache(self):
+        form = _form(seed=3)
+        with ThreadBackend(workers=1) as backend:
+            scheduler = ClassificationScheduler(
+                backend=backend, task=_cooperative_slow_task
+            )
+            job = scheduler.submit(form, deadline=0.1)
+            with pytest.raises(SearchTimeout):
+                job.result(timeout=10)
+            scheduler.wait_idle(timeout=10)
+            assert scheduler.cache.peek(form.key) is None
+            # And the key is immediately retryable as a fresh search.
+            assert scheduler.submit(form, deadline=0.1).kind == JOB_SCHEDULED
+            scheduler.wait_idle(timeout=10)
+
+    def test_cancelling_one_sharer_spares_the_search(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def task(payload):
+            started.set()
+            assert release.wait(timeout=10)
+            return payload[0], {"complexity": "CONSTANT"}
+
+        with ThreadBackend(workers=1) as backend:
+            scheduler = ClassificationScheduler(backend=backend, task=task)
+            form = _form(seed=4)
+            first = scheduler.submit(form)
+            assert started.wait(timeout=10)
+            second = scheduler.submit(form)
+            assert second.kind == JOB_SHARED
+            assert first.cancel() is True
+            assert first.cancel() is False  # already detached
+            with pytest.raises(SearchCancelled):
+                first.result(timeout=10)
+            release.set()
+            # The surviving sharer still gets the result; nothing cancelled.
+            assert second.result(timeout=10)["complexity"] == "CONSTANT"
+        assert scheduler.stats.cancelled == 0
+        assert scheduler.stats.completed == 1
+
+    def test_cancelling_the_last_waiter_cancels_the_search(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def task(payload):
+            started.set()
+            checkpoint()
+            assert release.wait(timeout=60)
+            checkpoint()  # observes the cancel after the event releases
+            return payload[0], {"complexity": "CONSTANT"}
+
+        with ThreadBackend(workers=1) as backend:
+            scheduler = ClassificationScheduler(backend=backend, task=task)
+            form = _form(seed=5)
+            job = scheduler.submit(form)
+            assert started.wait(timeout=10)
+            assert job.cancel() is True
+            with pytest.raises(SearchCancelled):
+                job.result(timeout=10)
+            assert scheduler.stats.cancelled == 1
+            assert scheduler.in_flight == 0  # key freed immediately
+            release.set()
+            assert scheduler.wait_idle(timeout=10)  # zombie drains
+            assert scheduler.slots_in_use == 0
+            assert scheduler.cache.peek(form.key) is None
+
+    def test_scheduler_cancel_by_key_resolves_every_waiter(self):
+        block = threading.Event()
+        with ThreadBackend(workers=1) as backend:
+            scheduler = ClassificationScheduler(
+                backend=backend, task=_blocked_task_factory(block)
+            )
+            form = _form(seed=6)
+            jobs = [scheduler.submit(form) for _ in range(3)]
+            assert scheduler.cancel(form.key) is True
+            assert scheduler.cancel(form.key) is False  # nothing live anymore
+            for job in jobs:
+                with pytest.raises(SearchCancelled):
+                    job.result(timeout=10)
+            block.set()
+            assert scheduler.wait_idle(timeout=10)
+        assert scheduler.stats.cancelled == 1
+
+    def test_cancelling_a_queued_flight_never_dispatches_it(self):
+        started = threading.Event()
+        release = threading.Event()
+        executed = []
+
+        def task(payload):
+            executed.append(payload[0])
+            started.set()
+            assert release.wait(timeout=10)
+            return payload[0], {"complexity": "CONSTANT"}
+
+        blocker_form, queued_form = _distinct_forms(2, start=7)
+        with ThreadBackend(workers=1) as backend:
+            scheduler = ClassificationScheduler(backend=backend, task=task)
+            blocker = scheduler.submit(blocker_form)
+            assert started.wait(timeout=10)
+            queued = scheduler.submit(queued_form)
+            assert queued.cancel() is True
+            release.set()
+            blocker.result(timeout=10)
+            assert scheduler.wait_idle(timeout=10)
+        assert executed == [blocker.key]
+        assert scheduler.stats.scheduled == 1  # the queued one never started
+        assert scheduler.stats.flights == 2
+        assert scheduler.stats.cancelled == 1
+
+    def test_cache_hit_jobs_cannot_be_cancelled(self):
+        form = _form(seed=9)
+        cache = ClassificationCache()
+        cache.store(form.key, {"complexity": "CONSTANT"})
+        scheduler = ClassificationScheduler(cache=cache)
+        job = scheduler.submit(form)
+        assert job.kind == JOB_CACHE_HIT
+        assert job.cancel() is False
+
+    def test_sharer_without_deadline_survives_creators_timeout(self):
+        """Deadlines are per waiter: one client's budget must never time out
+        another client sharing the same search (code-review regression)."""
+        started = threading.Event()
+        release = threading.Event()
+
+        def task(payload):
+            started.set()
+            checkpoint()
+            assert release.wait(timeout=30)
+            checkpoint()
+            return payload[0], {"complexity": "CONSTANT"}
+
+        with ThreadBackend(workers=1) as backend:
+            scheduler = ClassificationScheduler(backend=backend, task=task)
+            form = _form(seed=40)
+            creator = scheduler.submit(form, deadline=0.2)
+            assert started.wait(timeout=10)
+            sharer = scheduler.submit(form)  # no deadline: wants the answer
+            assert sharer.kind == JOB_SHARED
+            with pytest.raises(SearchTimeout):
+                creator.result(timeout=10)
+            # The flight is still live for the sharer — not cancelled.
+            assert scheduler.in_flight == 1
+            release.set()
+            assert sharer.result(timeout=10)["complexity"] == "CONSTANT"
+        assert scheduler.stats.completed == 1
+        assert scheduler.stats.timeouts == 0  # no *flight* timed out
+        assert scheduler.cache.peek(form.key) is not None
+
+    def test_process_backend_routes_unkillable_tasks_through_the_pool(self):
+        """Only deadline-marked searches pay for a dedicated process; plain
+        ones keep the warm pool (code-review regression)."""
+        from repro.workers import CancelToken
+
+        backend = ProcessBackend(workers=1)
+        backend.probe()
+        if backend.degraded:  # pragma: no cover - sandboxed environments
+            backend.close()
+            pytest.skip("process pool unavailable in this environment")
+        try:
+            pooled = backend.submit_task(_square, 4, token=CancelToken())
+            assert pooled._kill is None  # pool path: no dedicated process
+            assert pooled.future.result(timeout=60) == 16
+            dedicated = backend.submit_task(
+                _square, 5, token=CancelToken(), killable=True
+            )
+            assert dedicated._kill is not None  # hard-killable path
+            assert dedicated.future.result(timeout=60) == 25
+        finally:
+            backend.close()
+
+    def test_classify_many_does_not_count_timed_out_duplicates_as_hits(self):
+        """A duplicate of an orbit whose search timed out produced no answer
+        and must not inflate the cache hit rate (code-review regression)."""
+        from repro.problems import hard_problem
+
+        hard = hard_problem(6)
+        with BatchClassifier(backend="threads", workers=2) as classifier:
+            items = classifier.classify_many([hard, hard], deadline=0.2)
+            hits_after_timeout = classifier.cache_stats.hits
+            # Positive control: duplicates of a *completed* orbit are hits.
+            easy = catalog()["mis"][0]
+            classifier.classify_many([easy, easy])
+        assert [item.outcome for item in items] == ["timeout", "timeout"]
+        assert hits_after_timeout == 0
+        assert classifier.cache_stats.hits == 1  # the easy duplicate only
+
+    def test_process_backend_hard_kills_a_deadlined_search(self):
+        """The process backend terminates a search that never checkpoints."""
+        backend = ProcessBackend(workers=2)
+        backend.probe()
+        if backend.degraded:  # pragma: no cover - sandboxed environments
+            backend.close()
+            pytest.skip("process pool unavailable in this environment")
+        try:
+            scheduler = ClassificationScheduler(
+                backend=backend, task=_stubborn_sleeper
+            )
+            start = time.monotonic()
+            job = scheduler.submit(_form(seed=10), deadline=0.3)
+            with pytest.raises(SearchTimeout):
+                job.result(timeout=30)
+            # wait_idle confirms the killed child's future settled: the
+            # worker slot is truly reclaimed, not leaked.
+            assert scheduler.wait_idle(timeout=30)
+            assert time.monotonic() - start < 20.0
+            assert scheduler.stats.timeouts == 1
+            assert scheduler.slots_in_use == 0
+        finally:
+            backend.close()
+
+    def test_starvation_regression_hung_search_does_not_delay_interactive(self):
+        """One hung search + N interactive classifies: only the hung key
+        times out, everything else completes within its deadline."""
+        block = threading.Event()
+        forms = _distinct_forms(7, start=20)
+        hung_form, interactive_forms = forms[0], forms[1:]
+
+        def task(payload):
+            if payload[0] == hung_form.key:
+                assert block.wait(timeout=60)  # event-blocked stub: hangs
+            return payload[0], {"complexity": "CONSTANT"}
+        with ThreadBackend(workers=2) as backend:
+            scheduler = ClassificationScheduler(backend=backend, task=task)
+            hung = scheduler.submit(hung_form, priority="batch", deadline=0.5)
+            jobs = [
+                scheduler.submit(form, priority="interactive", deadline=10.0)
+                for form in interactive_forms
+            ]
+            start = time.monotonic()
+            payloads = [job.result(timeout=15) for job in jobs]
+            elapsed = time.monotonic() - start
+            with pytest.raises(SearchTimeout):
+                hung.result(timeout=10)
+            block.set()
+            assert scheduler.wait_idle(timeout=10)
+        assert all(payload["complexity"] == "CONSTANT" for payload in payloads)
+        assert elapsed < 10.0  # nobody waited behind the hung search
+        assert scheduler.stats.timeouts == 1
+        assert scheduler.stats.completed == len(interactive_forms)
+        assert scheduler.slots_in_use == 0
+
+    def test_failed_flight_retires_its_key_under_contention(self):
+        """Regression (PR 4): hammer a failing key from many threads while
+        flipping it to success — the key must never stick in the in-flight
+        table, every waiter must resolve, and the final retry must succeed."""
+        mode = {"fail": True}
+
+        def flaky(payload):
+            if mode["fail"]:
+                raise RuntimeError("flaky search")
+            return payload[0], {"complexity": "CONSTANT"}
+
+        form = _form(seed=30)
+        stop = threading.Event()
+        unexpected = []
+        outcomes = {"failed": 0, "succeeded": 0}
+        counter_lock = threading.Lock()
+
+        def hammer():
+            while not stop.is_set():
+                job = scheduler.submit(form)
+                try:
+                    job.result(timeout=10)
+                    with counter_lock:
+                        outcomes["succeeded"] += 1
+                    return  # cache is hot from here on
+                except RuntimeError:
+                    with counter_lock:
+                        outcomes["failed"] += 1
+                except Exception as error:  # noqa: BLE001 - surfaced below
+                    unexpected.append(error)
+                    return
+
+        with ThreadBackend(workers=4) as backend:
+            scheduler = ClassificationScheduler(backend=backend, task=flaky)
+            threads = [threading.Thread(target=hammer) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.2)  # let the failure/retry race churn
+            mode["fail"] = False
+            for thread in threads:
+                thread.join(timeout=30)
+            stop.set()
+            assert not any(thread.is_alive() for thread in threads)
+            assert scheduler.wait_idle(timeout=10)
+
+        assert not unexpected, unexpected
+        assert outcomes["succeeded"] == 6  # every thread eventually succeeded
+        assert scheduler.in_flight == 0
+        assert scheduler.slots_in_use == 0
+        # Conservation: every flight ended in exactly one terminal outcome.
+        stats = scheduler.stats
+        assert stats.flights == stats.completed + stats.failed
+        assert stats.completed >= 1
+        assert scheduler.cache.peek(form.key) is not None
+
+
+def _stubborn_sleeper(payload):
+    """Module-level (picklable) search that sleeps without checkpointing."""
+    time.sleep(30)
+    return payload[0], {"complexity": "CONSTANT"}
 
 
 # ----------------------------------------------------------------------
