@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import time
 
+from repro.api import connect
 from repro.core import classify
-from repro.engine import BatchClassifier
 from repro.problems import hard_problem
 from repro.problems.random_problems import random_problem
 
@@ -36,9 +36,11 @@ def _census_problems(count=20):
 def _deadline_census():
     problems = _census_problems()
     hard = hard_problem(6)
-    with BatchClassifier(backend="threads", workers=4) as classifier:
-        items = classifier.classify_many(
-            [*problems, hard], priority="batch", deadline=DEADLINE_SECONDS
+    with connect("local://threads?workers=4") as session:
+        items = list(
+            session.classify_many(
+                [*problems, hard], priority="batch", deadline=DEADLINE_SECONDS
+            )
         )
     return items
 
@@ -64,9 +66,9 @@ def test_census_with_hard_key_completes_within_deadline(benchmark):
 def _timeout_reclaim_latency(backend: str) -> float:
     """Seconds past the deadline until the doomed search resolves."""
     deadline = 0.5
-    with BatchClassifier(backend=backend, workers=2) as classifier:
+    with connect(f"local://{backend}?workers=2") as session:
         start = time.monotonic()
-        item = classifier.classify_item(hard_problem(6), deadline=deadline)
+        item = session.classify(hard_problem(6), deadline=deadline)
         elapsed = time.monotonic() - start
     assert item.outcome == "timeout"
     return max(0.0, elapsed - deadline)

@@ -5,17 +5,18 @@ of LCL problems.  This benchmark classifies batches of random problems over two
 and three labels and reports how the four complexity classes (plus unsolvable
 problems) are populated, together with the classifier throughput.
 
-The census routes through :class:`repro.engine.BatchClassifier`: random draws
-over a small alphabet land in few renaming orbits, so deduplicating by
-canonical form lets one certificate search serve many isomorphic draws.  The
-dedicated amortization benchmark below verifies the engine performs at least
-5x fewer full searches than naive per-problem classification on a
-duplicate-heavy 200-draw census.
+The censuses route through :class:`repro.api.ClassificationSession` — the
+package's one classification front door: random draws over a small alphabet
+land in few renaming orbits, so deduplicating by canonical form lets one
+certificate search serve many isomorphic draws.  The dedicated amortization
+benchmark below verifies the engine performs at least 5x fewer full searches
+than naive per-problem classification on a duplicate-heavy 200-draw census.
 
 The warm-service benchmark additionally routes the census through a live
-:class:`repro.service.ThreadedService`: the first client run fills the
-service's persistent cache, and the benchmarked second run is answered almost
-entirely from it — the cross-run reuse that a one-shot process cannot offer.
+:class:`repro.service.ThreadedService` via a ``tcp://`` session: the first
+run fills the service's persistent cache, and the benchmarked second run is
+answered almost entirely from it — the cross-run reuse that a one-shot
+process cannot offer.
 
 Two worker-subsystem benchmarks ride along: the *parallel census* compares a
 cold census on the serial ``inline`` backend against ``--worker-backend
@@ -32,10 +33,11 @@ from collections import Counter
 
 import pytest
 
+from repro.api import connect
 from repro.core import ComplexityClass, classify
 from repro.engine import BatchClassifier, ClassificationCache
 from repro.problems.random_problems import random_problem
-from repro.service import ServiceClient, ThreadedService
+from repro.service import ThreadedService
 from repro.workers import ClassificationScheduler, ProcessBackend, usable_cpus
 
 
@@ -46,11 +48,19 @@ def _draws(num_labels: int, density: float, count: int):
 
 
 def _census(num_labels: int, density: float, count: int) -> Counter:
-    classifier = BatchClassifier()
     counts: Counter = Counter()
-    for item in classifier.classify_many(_draws(num_labels, density, count)):
-        counts[item.result.complexity] += 1
+    with connect("local://inline") as session:
+        for item in session.classify_many(_draws(num_labels, density, count)):
+            counts[item.result.complexity] += 1
     return counts
+
+
+def _session_census(session, **census_params):
+    """One census through a session: (counts, hit_rate) from the outcomes."""
+    outcomes = list(session.census(**census_params))
+    counts = Counter(outcome.complexity for outcome in outcomes)
+    hits = sum(1 for outcome in outcomes if outcome.from_cache)
+    return counts, hits / len(outcomes)
 
 
 def test_two_label_census(benchmark):
@@ -81,25 +91,25 @@ def test_batch_amortization(benchmark):
     problems = _draws(2, 0.5, 200)
 
     def run():
-        classifier = BatchClassifier()
-        items = classifier.classify_many(problems)
-        return classifier, items
+        with connect("local://inline") as session:
+            items = list(session.classify_many(problems))
+            return session.stats(), items
 
-    classifier, items = benchmark(run)
+    stats, items = benchmark(run)
 
-    stats = classifier.stats
-    assert stats.submitted == 200
-    assert stats.full_searches * 5 <= stats.submitted, stats.as_dict()
-    assert classifier.cache_stats.hit_rate >= 0.8
+    batch, cache = stats["batch"], stats["cache"]
+    assert batch["submitted"] == 200
+    assert batch["full_searches"] * 5 <= batch["submitted"], batch
+    assert cache["hit_rate"] >= 0.8
 
     # The amortized results agree with naive per-problem classification.
     naive = [classify(problem).complexity for problem in problems]
     assert [item.result.complexity for item in items] == naive
 
     print(
-        f"\nBatch census amortization: {stats.submitted} problems, "
-        f"{stats.full_searches} full searches ({stats.speedup:.1f}x), "
-        f"hit rate {classifier.cache_stats.hit_rate:.0%}"
+        f"\nBatch census amortization: {batch['submitted']} problems, "
+        f"{batch['full_searches']} full searches ({batch['speedup']:.1f}x), "
+        f"hit rate {cache['hit_rate']:.0%}"
     )
 
 
@@ -115,22 +125,23 @@ def test_warm_service_census(benchmark, tmp_path):
     census_params = dict(labels=2, density=0.5, count=60, seed=0)
 
     with ThreadedService(cache=ClassificationCache(path=str(cache_path))) as address:
-        with ServiceClient.connect_tcp(*address) as first:
-            cold = first.census(**census_params)
+        endpoint = f"tcp://{address[0]}:{address[1]}"
+        with connect(endpoint) as first:
+            cold_counts, cold_hit_rate = _session_census(first, **census_params)
 
         def warm_census():
-            with ServiceClient.connect_tcp(*address) as client:
-                return client.census(**census_params)
+            with connect(endpoint) as session:
+                return _session_census(session, **census_params)
 
-        warm = benchmark(warm_census)
+        warm_counts, warm_hit_rate = benchmark(warm_census)
 
-    assert cold["count"] == warm["count"] == 60
-    assert cold["counts"] == warm["counts"]
-    assert warm["hit_rate"] > 0.9, warm
+    assert sum(cold_counts.values()) == sum(warm_counts.values()) == 60
+    assert cold_counts == warm_counts
+    assert warm_hit_rate > 0.9, warm_hit_rate
 
     print(
-        f"\nWarm-service census: cold hit rate {cold['hit_rate']:.0%}, "
-        f"warm hit rate {warm['hit_rate']:.0%} over {warm['count']} problems"
+        f"\nWarm-service census: cold hit rate {cold_hit_rate:.0%}, "
+        f"warm hit rate {warm_hit_rate:.0%} over 60 problems"
     )
 
 
@@ -205,30 +216,30 @@ def test_warm_vs_cold_service_census(benchmark, tmp_path):
     census_params = dict(labels=2, density=0.5, count=60, seed=7)
 
     with ThreadedService(backend="threads", workers=4) as address:
-        with ServiceClient.connect_tcp(*address) as client:
+        with connect(f"tcp://{address[0]}:{address[1]}") as session:
             start = time.perf_counter()
-            cold = client.census(**census_params)
+            cold_counts, _cold_hit_rate = _session_census(session, **census_params)
             cold_seconds = time.perf_counter() - start
 
         with ThreadedService(backend="threads", workers=4) as second_address:
-            with ServiceClient.connect_tcp(*second_address) as client:
-                warm_report = client.warm(census=census_params, wait=True)
+            with connect(f"tcp://{second_address[0]}:{second_address[1]}") as session:
+                warm_report = session.warm(census=census_params, wait=True)
                 durations = []
 
                 def warmed_census():
                     round_start = time.perf_counter()
-                    summary = client.census(**census_params)
+                    summary = _session_census(session, **census_params)
                     durations.append(time.perf_counter() - round_start)
                     return summary
 
-                warm = benchmark(warmed_census)
+                warm_counts, warm_hit_rate = benchmark(warmed_census)
         warm_seconds = min(durations)
 
     assert warm_report["scheduled"] > 0
-    assert warm["hit_rate"] == 1.0
-    assert warm["counts"] == cold["counts"]
+    assert warm_hit_rate == 1.0
+    assert warm_counts == cold_counts
     print(
         f"\nWarm-vs-cold census: cold {cold_seconds * 1000:.1f} ms, "
         f"after warm {warm_seconds * 1000:.1f} ms "
-        f"({cold_seconds / warm_seconds:.1f}x) over {warm['count']} problems"
+        f"({cold_seconds / warm_seconds:.1f}x) over 60 problems"
     )

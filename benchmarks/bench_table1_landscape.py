@@ -13,16 +13,18 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import connect
 from repro.core import ComplexityClass, classify
-from repro.engine import BatchClassifier
 from repro.problems import catalog
 
 
 def _classify_catalog():
     entries = catalog()
-    classifier = BatchClassifier()
-    items = classifier.classify_many(problem for problem, _expected in entries.values())
-    return {name: item.result.complexity for name, item in zip(entries, items)}
+    with connect("local://inline") as session:
+        items = session.classify_many(
+            problem for problem, _expected in entries.values()
+        )
+        return {name: item.result.complexity for name, item in zip(entries, items)}
 
 
 def test_landscape_rows_match_paper(benchmark):

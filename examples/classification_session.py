@@ -1,0 +1,81 @@
+"""Scenario: one API, three execution backends — the endpoint tour.
+
+``repro.api`` gives every execution strategy the same front door: this
+example classifies the *same* problem set through
+
+1. ``local://inline`` — synchronous, in this thread,
+2. ``local://threads?workers=4`` — an in-process worker pool with
+   single-flight deduplication, and
+3. ``tcp://host:port`` — a live classification service (embedded here on a
+   background thread, exactly as ``python -m repro serve`` would run it),
+
+then shows the facade extras: time-budgeted cache warming and the
+search-time histogram operators use to pick deadlines from data.
+
+Run with::
+
+    python examples/classification_session.py
+"""
+
+import time
+
+from repro.api import connect
+from repro.problems.random_problems import random_problem
+from repro.service import ThreadedService
+
+PROBLEMS = [random_problem(2, density=0.5, seed=seed) for seed in range(40)]
+
+
+def run_through(endpoint: str) -> None:
+    start = time.perf_counter()
+    with connect(endpoint) as session:
+        outcomes = list(session.classify_many(PROBLEMS))
+        stats = session.stats()
+    elapsed = time.perf_counter() - start
+    tally = {}
+    for outcome in outcomes:
+        tally[outcome.complexity] = tally.get(outcome.complexity, 0) + 1
+    summary = ", ".join(f"{k}: {v}" for k, v in sorted(tally.items()))
+    print(f"{endpoint}")
+    print(f"  outcomes: {summary}")
+    print(
+        f"  {stats['batch']['full_searches']} searches for "
+        f"{stats['batch']['submitted']} problems in {elapsed:.2f} s"
+    )
+
+
+def main() -> None:
+    # The same call pattern, three execution strategies.
+    run_through("local://inline")
+    run_through("local://threads?workers=4")
+    with ThreadedService(backend="threads", workers=4) as (host, port):
+        run_through(f"tcp://{host}:{port}")
+
+        # Facade extras work identically against the remote endpoint:
+        with connect(f"tcp://{host}:{port}") as session:
+            # Warm a census's canonical keys with a wall-clock budget —
+            # the sweep spends at most ~2 s, keeps whatever finished.
+            summary = session.warm(
+                census={"labels": 2, "count": 100, "seed": 7}, budget=2.0
+            )
+            print(
+                f"\nwarm with 2 s budget: {summary['within_budget']} of "
+                f"{summary['unique_keys']} orbits warmed, "
+                f"{summary['interrupted']} interrupted"
+            )
+            # ...and the census that follows is (mostly) cache hits.
+            hits = sum(1 for o in session.census(labels=2, count=100, seed=7) if o.from_cache)
+            print(f"census after warm: {hits}/100 answered from cache")
+
+            search_times = session.stats()["workers"]["search_times"]
+            if search_times["count"]:
+                print(
+                    f"search-time histogram: n={search_times['count']}, "
+                    f"p50={search_times['p50_ms']:.0f} ms, "
+                    f"p99={search_times['p99_ms']:.0f} ms "
+                    f"(a data-driven --deadline suggestion)"
+                )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,9 +1,11 @@
 """Scenario: map the complexity landscape of all LCL problems over a small alphabet.
 
 The classifier is fast enough to sweep entire problem families.  This example
-enumerates random binary-tree LCL problems over two and three labels, classifies
-each of them, and prints the resulting landscape census — an experiment in the
-spirit of Table 1 that would be infeasible to do by hand.
+opens one :mod:`repro.api` session and pushes two sweeps through it: every
+problem over two labels (64 problems), and a random sample over three labels.
+Because the session deduplicates by canonical form and caches, the landscape
+census costs far fewer exponential searches than problems classified — the
+session's own statistics show exactly how many.
 
 Run with::
 
@@ -13,32 +15,33 @@ Run with::
 import time
 from collections import Counter
 
-from repro import classify
+from repro.api import connect
 from repro.problems.random_problems import all_problems_with, random_problem
 
 
-def exhaustive_two_label_landscape() -> None:
+def exhaustive_two_label_landscape(session) -> None:
     """Classify *every* problem over two labels (64 problems)."""
     counts = Counter()
     start = time.perf_counter()
-    total = 0
-    for problem in all_problems_with(2, delta=2):
-        counts[classify(problem).complexity] += 1
-        total += 1
+    outcomes = list(session.classify_many(all_problems_with(2, delta=2)))
+    for outcome in outcomes:
+        counts[outcome.result.complexity] += 1
     elapsed = time.perf_counter() - start
-    print(f"all {total} problems over 2 labels classified in {elapsed:.2f} s:")
+    print(f"all {len(outcomes)} problems over 2 labels classified in {elapsed:.2f} s:")
     for complexity, count in sorted(counts.items(), key=lambda item: item[0].order):
         print(f"  {complexity.value:16s} {count:4d}")
     print()
 
 
-def random_three_label_landscape(samples: int = 200) -> None:
+def random_three_label_landscape(session, samples: int = 200) -> None:
     """Classify a random sample of three-label problems."""
     counts = Counter()
     start = time.perf_counter()
-    for seed in range(samples):
-        problem = random_problem(3, density=0.35, seed=seed)
-        counts[classify(problem).complexity] += 1
+    problems = [
+        random_problem(3, density=0.35, seed=seed) for seed in range(samples)
+    ]
+    for outcome in session.classify_many(problems):
+        counts[outcome.result.complexity] += 1
     elapsed = time.perf_counter() - start
     print(f"{samples} random problems over 3 labels classified in {elapsed:.2f} s:")
     for complexity, count in sorted(counts.items(), key=lambda item: item[0].order):
@@ -46,8 +49,23 @@ def random_three_label_landscape(samples: int = 200) -> None:
 
 
 def main() -> None:
-    exhaustive_two_label_landscape()
-    random_three_label_landscape()
+    with connect("local://inline") as session:
+        exhaustive_two_label_landscape(session)
+        random_three_label_landscape(session)
+        stats = session.stats()
+        batch = stats["batch"]
+        print(
+            f"\nsession totals: {batch['submitted']} problems, "
+            f"{batch['full_searches']} full searches "
+            f"({batch['speedup']:.1f}x amortized by canonical dedup + caching)"
+        )
+        search_times = stats["workers"]["search_times"]
+        if search_times["count"]:
+            print(
+                f"search times: p50 {search_times['p50_ms']:.1f} ms, "
+                f"p99 {search_times['p99_ms']:.1f} ms, "
+                f"max {search_times['max_ms']:.1f} ms"
+            )
 
 
 if __name__ == "__main__":

@@ -1,4 +1,8 @@
-"""Quickstart: define an LCL problem, classify it, and inspect the certificates.
+"""Quickstart: open a classification session, classify, inspect certificates.
+
+The session facade of :mod:`repro.api` is the one front door for
+classification — the same code works whether the endpoint is
+``local://inline`` (this example), a worker pool, or a remote service.
 
 Run with::
 
@@ -6,6 +10,7 @@ Run with::
 """
 
 from repro import classify_with_certificates, parse_problem
+from repro.api import connect
 from repro.problems import catalog
 
 
@@ -21,27 +26,37 @@ def main() -> None:
         name="3-coloring",
     )
 
-    # 2. Classify it: the paper proves the only possible classes are
-    #    O(1), Theta(log* n), Theta(log n) and n^Theta(1).
-    artifacts = classify_with_certificates(problem)
-    print(f"problem:     {problem.summary()}")
-    print(f"complexity:  {artifacts.result.complexity.value}")
-    print(f"details:     {artifacts.result.describe()}")
-    print(f"classified in {artifacts.elapsed_seconds * 1000:.2f} ms")
+    with connect("local://inline") as session:
+        # 2. Classify it: the paper proves the only possible classes are
+        #    O(1), Theta(log* n), Theta(log n) and n^Theta(1).
+        outcome = session.classify(problem)
+        print(f"problem:     {problem.summary()}")
+        print(f"complexity:  {outcome.complexity}")
+        print(f"details:     {outcome.details}")
+        print(f"classified in {outcome.elapsed_ms:.2f} ms")
 
-    # 3. Inspect the certificate that witnesses the upper bound.
+        # 3. A second classify of the same orbit is a cache hit — sessions
+        #    amortize the exponential searches automatically.
+        again = session.classify(problem)
+        print(f"again: from_cache={again.from_cache} ({again.elapsed_ms:.2f} ms)")
+
+        # 4. The whole sample catalog of the paper, classified in one go.
+        print("\nthe paper's sample problems:")
+        names = list(catalog())
+        samples = [sample for sample, _ in catalog().values()]
+        expected = [exp for _, exp in catalog().values()]
+        for name, exp, item in zip(names, expected, session.classify_many(samples)):
+            marker = "ok" if item.complexity == exp.value else "MISMATCH"
+            print(f"  [{marker}] {name:20s} -> {item.complexity}")
+
+    # 5. The certificate that witnesses an upper bound is a distributed
+    #    algorithm; the core API exposes the full artifacts.
+    artifacts = classify_with_certificates(problem)
     certificate = artifacts.logstar_certificate
     if certificate is not None:
         print("\nuniform certificate for O(log* n) solvability (Definition 6.1):")
         print(f"  labels: {sorted(certificate.labels)}, depth: {certificate.depth}")
         print(f"  shared leaf layer: {certificate.leaf_labels()}")
-
-    # 4. The whole sample catalog of the paper, classified in one go.
-    print("\nthe paper's sample problems:")
-    for name, (sample, expected) in catalog().items():
-        result = classify_with_certificates(sample).result
-        marker = "ok" if result.complexity == expected else "MISMATCH"
-        print(f"  [{marker}] {name:20s} -> {result.complexity.value}")
 
 
 if __name__ == "__main__":

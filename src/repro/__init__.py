@@ -15,24 +15,28 @@ The package provides:
 
 The command line (``python -m repro``) exposes ``classify`` (single problems
 or the paper's catalog), ``classify-batch`` (directories or multi-problem
-files, deduplicated through the engine) and ``census`` (random-problem
-sweeps); every subcommand accepts ``--json`` for machine-readable output.
+files, deduplicated through the engine), ``census`` (random-problem sweeps),
+``warm`` (time-budgeted cache warming), and the ``serve``/``client`` pair;
+every subcommand accepts ``--json`` for machine-readable output.
 
-Quick start::
+Quick start — the session facade of :mod:`repro.api` is the one front door
+for classification, whatever the execution backend::
+
+    from repro.api import connect
+
+    with connect("local://threads?workers=4") as session:
+        outcome = session.classify("1 : 2 2\\n2 : 1 1")
+        print(outcome.complexity)   # "n^Theta(1)"
+
+Core quick start (certificates and solvers)::
 
     from repro import classify, problems
 
     result = classify(problems.maximal_independent_set())
     print(result.complexity)        # ComplexityClass.CONSTANT
 
-Batch quick start::
-
-    from repro import BatchClassifier
-    from repro.problems.random_problems import random_problem
-
-    engine = BatchClassifier()
-    items = engine.classify_many(random_problem(2, seed=s) for s in range(100))
-    print(engine.stats.speedup)     # searches amortized away by caching
+The lower-level constructors (``BatchClassifier``, ``ServiceClient``) remain
+as the implementation layer; prefer sessions in new code.
 """
 
 from . import automata, core, labeling, problems, trees
@@ -48,21 +52,28 @@ from .core import (
 )
 from . import engine
 from .engine import BatchClassifier, ClassificationCache, canonical_form
+from . import api
+from .api import ClassificationSession, Outcome, SessionConfig, connect
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchClassifier",
     "ClassificationCache",
     "ClassificationResult",
+    "ClassificationSession",
     "ComplexityClass",
     "Configuration",
     "LCLProblem",
+    "Outcome",
+    "SessionConfig",
+    "api",
     "automata",
     "canonical_form",
     "classify",
     "classify_with_certificates",
     "complexity_of",
+    "connect",
     "core",
     "engine",
     "labeling",

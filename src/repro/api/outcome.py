@@ -1,0 +1,166 @@
+"""The one result type of the session facade.
+
+An :class:`Outcome` is what every classification call returns — whether the
+search ran inline, on a worker pool, or on a remote service.  It unifies the
+two result shapes that grew over the first four PRs:
+
+* the local :class:`~repro.engine.batch.BatchItem` (a live
+  :class:`~repro.core.complexity.ClassificationResult` plus provenance), and
+* the service protocol's item payload (a JSON dict with ``outcome``/
+  ``complexity``/``result`` fields).
+
+``Outcome.as_dict()`` emits exactly the protocol item shape and
+``Outcome.from_payload()`` reads it back, so a classification serializes
+identically on every path — the endpoint parity tests compare these dicts
+field by field across ``local://`` and ``tcp://`` sessions.
+
+``outcome`` is one of :data:`OUTCOMES`: ``"ok"`` (the classification exists),
+``"timeout"``/``"cancelled"`` (the search was interrupted; ``result`` is
+``None``), or ``"error"`` (a structured failure surfaced as data rather than
+an exception, carrying ``error_code``/``error_message``).  Callers that
+prefer exceptions call :meth:`Outcome.require` and get the unified
+:mod:`repro.api.errors` hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from ..core.complexity import ClassificationResult
+from ..core.problem import LCLProblem
+from ..engine.batch import BatchItem
+from ..engine.serialization import result_from_dict, result_to_dict
+from .errors import SessionError, interruption_error
+
+OUTCOME_OK = "ok"
+OUTCOME_TIMEOUT = "timeout"
+OUTCOME_CANCELLED = "cancelled"
+OUTCOME_ERROR = "error"
+OUTCOMES = (OUTCOME_OK, OUTCOME_TIMEOUT, OUTCOME_CANCELLED, OUTCOME_ERROR)
+"""Every way a classification can resolve, identical on all endpoints."""
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """The classification of one problem through a session.
+
+    ``result`` is the full :class:`ClassificationResult` (certificate label
+    sets included) when ``outcome == "ok"``, else ``None``.  ``complexity``
+    and ``details`` are its human-readable projections, pre-extracted so
+    remote payloads and local results read the same.  ``problem`` is the
+    submitted :class:`LCLProblem` when the session still holds it (local
+    submissions and session-parsed text); payloads read off the wire carry
+    only ``name``.
+    """
+
+    name: str
+    outcome: str
+    complexity: Optional[str] = None
+    details: Optional[str] = None
+    result: Optional[ClassificationResult] = None
+    canonical_key: Optional[str] = None
+    from_cache: bool = False
+    elapsed_ms: float = 0.0
+    error_code: Optional[str] = None
+    error_message: Optional[str] = None
+    problem: Optional[LCLProblem] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the classification completed (``result`` is present)."""
+        return self.outcome == OUTCOME_OK
+
+    def require(self) -> "Outcome":
+        """Return ``self`` when ok; raise the unified error otherwise.
+
+        A ``timeout``/``cancelled`` outcome raises
+        :class:`~repro.api.errors.ClassificationTimeout` /
+        :class:`ClassificationCancelled`; an ``error`` outcome raises
+        :class:`SessionError` with the carried code.  The message is built
+        from fields that are identical across endpoints, so the raised
+        error is too.
+        """
+        if self.ok:
+            return self
+        if self.outcome in (OUTCOME_TIMEOUT, OUTCOME_CANCELLED):
+            raise interruption_error(self.outcome, key=self.canonical_key)
+        raise SessionError(
+            self.error_message or f"classification of {self.name} failed",
+            code=self.error_code or "error",
+        )
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        """The protocol item payload of this outcome (JSON-friendly).
+
+        Matches :func:`repro.service.server.item_payload` exactly, which a
+        unit test asserts — the wire shape and the facade shape must never
+        drift apart.
+        """
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "outcome": self.outcome,
+            "complexity": self.complexity,
+            "details": self.details,
+            "from_cache": self.from_cache,
+            "canonical_key": self.canonical_key,
+            "result": result_to_dict(self.result) if self.result is not None else None,
+            "elapsed_ms": self.elapsed_ms,
+        }
+        if self.outcome == OUTCOME_ERROR:
+            payload["error"] = {
+                "code": self.error_code,
+                "message": self.error_message,
+            }
+        return payload
+
+    @classmethod
+    def from_batch_item(cls, item: BatchItem) -> "Outcome":
+        """Lift a local :class:`BatchItem` into the unified shape."""
+        result = item.result
+        return cls(
+            name=item.problem.name,
+            outcome=item.outcome,
+            complexity=result.complexity.value if result is not None else None,
+            details=result.describe() if result is not None else None,
+            result=result,
+            canonical_key=item.canonical_key,
+            from_cache=item.from_cache,
+            elapsed_ms=item.elapsed_seconds * 1000.0,
+            problem=item.problem,
+        )
+
+    @classmethod
+    def from_payload(
+        cls, payload: Mapping[str, Any], problem: Optional[LCLProblem] = None
+    ) -> "Outcome":
+        """Read a protocol item/result payload back into an :class:`Outcome`."""
+        result_dict = payload.get("result")
+        result = result_from_dict(result_dict) if result_dict else None
+        error = payload.get("error") or {}
+        return cls(
+            name=payload.get("name", "<unnamed>"),
+            outcome=payload.get("outcome", OUTCOME_OK),
+            complexity=payload.get("complexity"),
+            details=payload.get("details"),
+            result=result,
+            canonical_key=payload.get("canonical_key"),
+            from_cache=bool(payload.get("from_cache", False)),
+            elapsed_ms=float(payload.get("elapsed_ms", 0.0)),
+            error_code=error.get("code"),
+            error_message=error.get("message"),
+            problem=problem,
+        )
+
+
+__all__ = [
+    "OUTCOMES",
+    "OUTCOME_CANCELLED",
+    "OUTCOME_ERROR",
+    "OUTCOME_OK",
+    "OUTCOME_TIMEOUT",
+    "Outcome",
+]

@@ -1,0 +1,768 @@
+"""The classification session: one front door over every execution path.
+
+:class:`ClassificationSession` is *the* supported way to classify LCL
+problems.  It is constructed from a URL-style endpoint (or a
+:class:`~repro.api.config.SessionConfig`) and presents one typed surface —
+:meth:`classify`, :meth:`classify_many`, :meth:`submit`, :meth:`census`,
+:meth:`warm`, :meth:`stats` — whose behavior is identical whether the work
+runs
+
+* inline in the calling thread (``local://inline``),
+* on an in-process worker pool through the single-flight scheduler
+  (``local://threads``, ``local://processes``), or
+* on a remote service over the JSON-lines protocol (``tcp://host:port``,
+  ``stdio:``).
+
+Every call returns :class:`~repro.api.outcome.Outcome` objects with the same
+fields on every endpoint, and every failure raises the unified
+:mod:`repro.api.errors` hierarchy; the endpoint parity tests assert both.
+
+Two interchangeable drivers implement the surface: ``_LocalDriver`` owns a
+:class:`~repro.engine.batch.BatchClassifier` (and therefore a scheduler and
+cache), ``_RemoteDriver`` owns a :class:`~repro.service.client.ServiceClient`
+connection.  The session itself only resolves problems, applies the
+config's scheduling defaults, and validates request shape *before* dispatch
+— which is what makes local and remote error messages literally equal.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..core.cancellation import SearchInterrupted
+from ..core.parser import parse_problem
+from ..core.problem import LCLError, LCLProblem
+from ..engine.batch import BatchClassifier, PendingClassification
+from ..engine.cache import ClassificationCache
+from ..engine.canonical import canonical_form
+from ..engine.serialization import problem_from_dict, problem_to_dict
+from ..problems.random_problems import random_problem
+from ..workers.scheduler import PRIORITIES
+from .config import MODE_LOCAL, MODE_TCP, SessionConfig, parse_endpoint
+from .errors import (
+    InternalError,
+    ProblemFormatError,
+    RequestError,
+    SessionError,
+    TransportError,
+    UnsupportedOperationError,
+    from_service_error,
+)
+from .outcome import Outcome
+
+ProblemSpec = Union[LCLProblem, str, Mapping[str, Any]]
+"""Anything a session accepts as a problem: a parsed :class:`LCLProblem`,
+paper-notation text, or a serialized problem dict."""
+
+
+def resolve_problem(spec: ProblemSpec, default_name: str = "<session>") -> LCLProblem:
+    """Turn any accepted problem spec into an :class:`LCLProblem`.
+
+    Mirrors the service's validation (including its message shape,
+    ``bad problem: ...``) so a malformed spec fails identically on every
+    endpoint — it is rejected *here*, before any dispatch.
+    """
+    try:
+        if isinstance(spec, LCLProblem):
+            return spec
+        if isinstance(spec, str):
+            return parse_problem(spec, name=default_name)
+        if isinstance(spec, Mapping):
+            return problem_from_dict(spec)
+    except (LCLError, ValueError, KeyError, TypeError) as error:
+        raise ProblemFormatError(f"bad problem: {error}") from error
+    raise ProblemFormatError(
+        "a problem must be paper-notation text, a serialized problem object, "
+        "or an LCLProblem"
+    )
+
+
+def validate_census_params(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate a census parameter object; return its normalized echo form.
+
+    The same validation (and the same messages) as the service's ``census``/
+    ``warm`` handlers, applied client-side before any dispatch.
+    """
+    try:
+        labels = int(params.get("labels", 2))
+        delta = int(params.get("delta", 2))
+        density = float(params.get("density", 0.5))
+        count = int(params.get("count", 100))
+        seed = int(params.get("seed", 0))
+    except (TypeError, ValueError) as error:
+        raise RequestError(f"bad census parameter: {error}") from error
+    if count < 1:
+        raise RequestError("census requires count >= 1")
+    return {
+        "labels": labels,
+        "delta": delta,
+        "density": density,
+        "count": count,
+        "seed": seed,
+    }
+
+
+def census_problems(params: Mapping[str, Any]) -> Tuple[List[LCLProblem], Dict[str, Any]]:
+    """A census's problem list from its parameter object, plus the echo.
+
+    The same generation as the service's ``census``/``warm`` handlers:
+    ``seed + index`` per draw, so a local census and a remote census of
+    equal parameters classify identical problems.  Remote drivers skip this
+    and ship only the (validated) parameter object — the server generates
+    the identical draws itself.
+    """
+    echo = validate_census_params(params)
+    problems = [
+        random_problem(
+            echo["labels"],
+            delta=echo["delta"],
+            density=echo["density"],
+            seed=echo["seed"] + index,
+        )
+        for index in range(echo["count"])
+    ]
+    return problems, echo
+
+
+class PendingOutcome:
+    """A submitted problem whose classification may still be running.
+
+    Returned by :meth:`ClassificationSession.submit`.  :meth:`result` blocks
+    until the :class:`Outcome` is available (an interrupted search resolves
+    to an Outcome with ``outcome="timeout"``/``"cancelled"``, it does not
+    raise).  :meth:`cancel` detaches this submission from its search when the
+    endpoint supports it (local sessions; remote submissions return
+    ``False`` — use the service's ``cancel`` operation from another
+    connection instead).
+    """
+
+    __slots__ = ("_result", "_done", "_cancel")
+
+    def __init__(
+        self,
+        result: Callable[[Optional[float]], Outcome],
+        done: Callable[[], bool],
+        cancel: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self._result = result
+        self._done = done
+        self._cancel = cancel
+
+    @property
+    def done(self) -> bool:
+        return self._done()
+
+    def cancel(self) -> bool:
+        """Detach from the search; ``True`` when a live submission was detached."""
+        if self._cancel is None:
+            return False
+        return self._cancel()
+
+    def result(self, timeout: Optional[float] = None) -> Outcome:
+        """Block until classified (``timeout`` bounds the *wait*, in seconds).
+
+        A wait that outlasts ``timeout`` raises the standard
+        :class:`TimeoutError` (the submission keeps running — call again);
+        this is "not ready yet", deliberately distinct from the session's
+        :class:`~repro.api.errors.ClassificationTimeout`, which means the
+        *search* blew its deadline.
+        """
+        return self._result(timeout)
+
+
+# ----------------------------------------------------------------------
+# Local driver
+# ----------------------------------------------------------------------
+class _LocalDriver:
+    """Session driver executing in-process through the batch engine."""
+
+    def __init__(self, config: SessionConfig) -> None:
+        cache: Optional[ClassificationCache] = None
+        if config.cache_path or config.cache_max_entries is not None:
+            cache = ClassificationCache(
+                path=config.cache_path, max_entries=config.cache_max_entries
+            )
+        self.classifier = BatchClassifier(
+            cache=cache, backend=config.backend, workers=config.workers
+        )
+
+    def _resolve(self, pending: PendingClassification) -> Outcome:
+        try:
+            item = pending.result()
+        except SearchInterrupted:  # pragma: no cover - normally pre-converted
+            raise
+        except SessionError:
+            raise
+        except Exception as error:  # noqa: BLE001 - one internal-error surface
+            raise InternalError(f"{type(error).__name__}: {error}") from error
+        return Outcome.from_batch_item(item)
+
+    def submit(
+        self, problem: LCLProblem, priority: str, deadline: Optional[float]
+    ) -> PendingOutcome:
+        pending = self.classifier.submit_item(
+            problem, priority=priority, deadline=deadline
+        )
+        return PendingOutcome(
+            result=lambda timeout=None: self._resolve_with_timeout(pending, timeout),
+            done=lambda: pending.done,
+            cancel=pending.cancel,
+        )
+
+    def _resolve_with_timeout(
+        self, pending: PendingClassification, timeout: Optional[float]
+    ) -> Outcome:
+        try:
+            item = pending.result(timeout=timeout)
+        except FuturesTimeoutError:
+            # "Not ready within the wait" is not an engine failure: let the
+            # standard TimeoutError through, identically to remote pendings.
+            raise
+        except SessionError:
+            raise
+        except Exception as error:  # noqa: BLE001
+            raise InternalError(f"{type(error).__name__}: {error}") from error
+        return Outcome.from_batch_item(item)
+
+    def classify(
+        self, problem: LCLProblem, priority: str, deadline: Optional[float]
+    ) -> Outcome:
+        pending = self.classifier.submit_item(
+            problem, priority=priority, deadline=deadline
+        )
+        return self._resolve(pending)
+
+    def iter_outcomes(
+        self,
+        problems: Sequence[LCLProblem],
+        priority: str,
+        deadline: Optional[float],
+    ) -> Iterator[Outcome]:
+        # Fan everything out up front (the pooled backends overlap searches),
+        # then stream outcomes in submission order as each future resolves.
+        pendings = [
+            self.classifier.submit_item(problem, priority=priority, deadline=deadline)
+            for problem in problems
+        ]
+
+        def generate() -> Iterator[Outcome]:
+            for pending in pendings:
+                yield self._resolve(pending)
+
+        return generate()
+
+    def warm(
+        self,
+        problems: Sequence[LCLProblem],
+        census: Optional[Mapping[str, Any]],
+        wait: bool,
+        priority: str,
+        deadline: Optional[float],
+        budget: Optional[float],
+    ) -> Dict[str, Any]:
+        workload = list(problems)
+        if census is not None:
+            census_list, _echo = census_problems(census)
+            workload.extend(census_list)
+        forms = [canonical_form(problem) for problem in workload]
+        summary = self.classifier.scheduler.warm(
+            forms, wait=wait, priority=priority, deadline=deadline, budget=budget
+        )
+        summary["count"] = len(workload)
+        return summary
+
+    def stats(self) -> Dict[str, Any]:
+        cache = self.classifier.cache
+        return {
+            "cache": {
+                "entries": len(cache),
+                "max_entries": cache.max_entries,
+                "path": cache.path,
+                **cache.stats.as_dict(),
+            },
+            "batch": self.classifier.stats.as_dict(),
+            "workers": self.classifier.scheduler.stats_payload(),
+        }
+
+    def cancel(self, request_id: Any) -> Dict[str, Any]:
+        raise UnsupportedOperationError(
+            "local sessions have no request ids; cancel a PendingOutcome instead"
+        )
+
+    def shutdown(self) -> Dict[str, Any]:
+        raise UnsupportedOperationError(
+            "local sessions have no remote service to shut down; close() the session"
+        )
+
+    def close(self) -> None:
+        cache = self.classifier.cache
+        self.classifier.close()
+        if cache.path:
+            cache.save()
+
+
+# ----------------------------------------------------------------------
+# Remote driver
+# ----------------------------------------------------------------------
+class _RemoteDriver:
+    """Session driver speaking the service protocol over TCP or stdio pipes.
+
+    One connection, used sequentially: an internal lock serializes requests,
+    so :meth:`submit`'s background thread and direct calls never interleave
+    frames.
+    """
+
+    def __init__(self, config: SessionConfig) -> None:
+        # Imported lazily so `import repro.api` works (and local sessions
+        # run) even where the service subpackage's asyncio machinery is
+        # unwanted; only remote sessions pay for it.
+        from ..service.client import ServiceClient, ServiceError
+
+        self._service_error = ServiceError
+        try:
+            if config.mode == MODE_TCP:
+                self.client = ServiceClient.connect_tcp(
+                    config.host, config.port, retries=config.retries
+                )
+            else:
+                self.client = ServiceClient.spawn_stdio(
+                    cache=config.cache_path,
+                    cache_max_entries=config.cache_max_entries,
+                )
+        except OSError as error:
+            raise TransportError(
+                f"cannot reach service at {config.endpoint()}: {error}"
+            ) from error
+        except ServiceError as error:
+            raise from_service_error(error) from error
+        # One connection, used sequentially.  The lock serializes requests
+        # across threads; `_stream_owner` additionally catches the same
+        # thread issuing a call while one of its own streaming iterators is
+        # still live — without it that call would self-deadlock on the
+        # non-reentrant lock (and with a reentrant one it would eat the
+        # stream's frames), so it raises a clear error instead.
+        self._io = threading.Lock()
+        self._stream_owner: Optional[threading.Thread] = None
+
+    def _acquire(self) -> None:
+        if self._stream_owner is threading.current_thread():
+            raise RequestError(
+                "a streaming request is still being consumed on this session; "
+                "exhaust the iterator (or open a second session) before "
+                "issuing another call"
+            )
+        self._io.acquire()
+
+    def _call(self, operation: Callable[[], Any]) -> Any:
+        self._acquire()
+        try:
+            return operation()
+        except self._service_error as error:
+            raise from_service_error(error) from error
+        finally:
+            self._io.release()
+
+    @staticmethod
+    def _deadline_ms(deadline: Optional[float]) -> Optional[float]:
+        return deadline * 1000.0 if deadline is not None else None
+
+    def classify(
+        self, problem: LCLProblem, priority: str, deadline: Optional[float]
+    ) -> Outcome:
+        payload = self._call(
+            lambda: self.client.classify(
+                problem_to_dict(problem),
+                priority=priority,
+                deadline_ms=self._deadline_ms(deadline),
+            )
+        )
+        return Outcome.from_payload(payload, problem)
+
+    def submit(
+        self, problem: LCLProblem, priority: str, deadline: Optional[float]
+    ) -> PendingOutcome:
+        future: "Future[Outcome]" = Future()
+
+        def run() -> None:
+            try:
+                future.set_result(self.classify(problem, priority, deadline))
+            except BaseException as error:  # noqa: BLE001 - ferried to waiter
+                future.set_exception(error)
+
+        threading.Thread(target=run, daemon=True, name="repro-session-submit").start()
+        return PendingOutcome(
+            result=lambda timeout=None: future.result(timeout),
+            done=future.done,
+        )
+
+    def iter_outcomes(
+        self,
+        problems: Sequence[LCLProblem],
+        priority: str,
+        deadline: Optional[float],
+    ) -> Iterator[Outcome]:
+        specs = [problem_to_dict(problem) for problem in problems]
+        params: Dict[str, Any] = {"problems": specs, "priority": priority}
+        if deadline is not None:
+            params["deadline_ms"] = self._deadline_ms(deadline)
+        return self._stream("classify_batch", params, problems)
+
+    def iter_census(
+        self,
+        echo: Mapping[str, Any],
+        priority: str,
+        deadline: Optional[float],
+    ) -> Iterator[Outcome]:
+        # Only the five census parameters travel; the server generates the
+        # identical `seed + index` draws itself.
+        params: Dict[str, Any] = {**echo, "priority": priority}
+        if deadline is not None:
+            params["deadline_ms"] = self._deadline_ms(deadline)
+        return self._stream("census", params, None)
+
+    def _stream(
+        self,
+        op: str,
+        params: Dict[str, Any],
+        problems: Optional[Sequence[LCLProblem]],
+    ) -> Iterator[Outcome]:
+        def generate() -> Iterator[Outcome]:
+            self._acquire()
+            self._stream_owner = threading.current_thread()
+            try:
+                for index, payload in enumerate(self.client.stream(op, params)):
+                    problem = problems[index] if problems is not None else None
+                    yield Outcome.from_payload(payload, problem)
+            except self._service_error as error:
+                raise from_service_error(error) from error
+            finally:
+                self._stream_owner = None
+                self._io.release()
+
+        return generate()
+
+    def warm(
+        self,
+        problems: Sequence[LCLProblem],
+        census: Optional[Mapping[str, Any]],
+        wait: bool,
+        priority: str,
+        deadline: Optional[float],
+        budget: Optional[float],
+    ) -> Dict[str, Any]:
+        # Explicit problems serialize; a census travels as its compact
+        # parameter object — the server expands it to the identical draws.
+        return self._call(
+            lambda: self.client.warm(
+                problems=(
+                    [problem_to_dict(problem) for problem in problems]
+                    if problems
+                    else None
+                ),
+                census=dict(census) if census is not None else None,
+                wait=wait,
+                priority=priority,
+                deadline_ms=self._deadline_ms(deadline),
+                budget_ms=self._deadline_ms(budget),
+            )
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        return self._call(self.client.stats)
+
+    def cancel(self, request_id: Any) -> Dict[str, Any]:
+        return self._call(lambda: self.client.cancel(request_id))
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._call(self.client.shutdown)
+
+    def close(self) -> None:
+        self.client.close()
+
+
+# ----------------------------------------------------------------------
+# The facade
+# ----------------------------------------------------------------------
+class ClassificationSession:
+    """One typed handle on a classification engine, wherever it runs.
+
+    Construct with :meth:`open` (or the module-level
+    :func:`repro.api.connect`) from an endpoint URL or a
+    :class:`SessionConfig`::
+
+        with ClassificationSession.open("local://threads?workers=4") as session:
+            outcome = session.classify("1 : 2 2\\n2 : 1 1")
+            print(outcome.complexity)
+
+    Sessions are context managers; :meth:`close` tears down whatever the
+    session owns (worker pools, connections, a spawned stdio service) and
+    persists a configured cache file.
+
+    Scheduling defaults: each call's ``priority``/``deadline`` falls back to
+    the config's ``default_priority``/``default_deadline``, then to the
+    operation's own class — ``interactive`` for :meth:`classify`/
+    :meth:`submit`, ``batch`` for :meth:`classify_many`, ``warm`` for
+    :meth:`census` and :meth:`warm` — the same defaults the service applies
+    on the wire.
+    """
+
+    def __init__(self, config: SessionConfig) -> None:
+        self.config = config
+        if config.mode == MODE_LOCAL:
+            self._driver: Union[_LocalDriver, _RemoteDriver] = _LocalDriver(config)
+        else:
+            self._driver = _RemoteDriver(config)
+        self._closed = False
+
+    @classmethod
+    def open(
+        cls,
+        endpoint: Union[str, SessionConfig] = "local://inline",
+        **overrides: Any,
+    ) -> "ClassificationSession":
+        """Open a session on an endpoint URL or an explicit config.
+
+        Keyword overrides patch individual :class:`SessionConfig` fields on
+        top of whatever the URL specified.
+        """
+        if isinstance(endpoint, SessionConfig):
+            config = endpoint
+            if overrides:
+                from dataclasses import replace
+
+                config = replace(config, **overrides)
+        else:
+            config = SessionConfig.from_endpoint(endpoint, **overrides)
+        return cls(config)
+
+    # ------------------------------------------------------------------
+    # Request shaping
+    # ------------------------------------------------------------------
+    @property
+    def endpoint(self) -> str:
+        """The canonical URL of this session's configuration."""
+        return self.config.endpoint()
+
+    @property
+    def is_local(self) -> bool:
+        return self.config.mode == MODE_LOCAL
+
+    def _scheduling(
+        self, priority: Optional[str], deadline: Optional[float], op_default: str
+    ) -> Tuple[str, Optional[float]]:
+        """Apply config defaults and validate — before any dispatch."""
+        priority = priority or self.config.default_priority or op_default
+        if priority not in PRIORITIES:
+            raise RequestError(
+                f"bad priority {priority!r} (known: {', '.join(PRIORITIES)})"
+            )
+        if deadline is None:
+            deadline = self.config.default_deadline
+        if deadline is not None and deadline <= 0:
+            raise RequestError("deadline must be positive seconds")
+        return priority, deadline
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def classify(
+        self,
+        problem: ProblemSpec,
+        *,
+        name: str = "<session>",
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> Outcome:
+        """Classify one problem; return its :class:`Outcome`.
+
+        An interrupted search returns an Outcome with ``outcome="timeout"``/
+        ``"cancelled"`` (call :meth:`Outcome.require` to raise instead);
+        malformed problems raise :class:`ProblemFormatError` before any work
+        is scheduled.
+        """
+        priority, deadline = self._scheduling(priority, deadline, "interactive")
+        resolved = resolve_problem(problem, default_name=name)
+        return self._driver.classify(resolved, priority, deadline)
+
+    def submit(
+        self,
+        problem: ProblemSpec,
+        *,
+        name: str = "<session>",
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> PendingOutcome:
+        """Submit one problem without waiting; collect via the pending handle."""
+        priority, deadline = self._scheduling(priority, deadline, "interactive")
+        resolved = resolve_problem(problem, default_name=name)
+        return self._driver.submit(resolved, priority, deadline)
+
+    def classify_many(
+        self,
+        problems: Iterable[ProblemSpec],
+        *,
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> Iterator[Outcome]:
+        """Classify a stream of problems; yield outcomes in submission order.
+
+        All problems are resolved and submitted up front (so pooled and
+        remote endpoints overlap the searches), then outcomes stream as each
+        resolves.  ``deadline`` is a per-canonical-key search budget: a blown
+        key yields ``outcome="timeout"`` items while the rest completes.
+        """
+        priority, deadline = self._scheduling(priority, deadline, "batch")
+        resolved = [
+            resolve_problem(problem, default_name=f"<session>#{index + 1}")
+            for index, problem in enumerate(problems)
+        ]
+        return self._driver.iter_outcomes(resolved, priority, deadline)
+
+    def census(
+        self,
+        labels: int = 2,
+        delta: int = 2,
+        density: float = 0.5,
+        count: int = 100,
+        seed: int = 0,
+        *,
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> Iterator[Outcome]:
+        """Classify a seeded random-problem sweep; yield outcomes in order.
+
+        Local sessions generate the problems in-process; remote sessions run
+        the server-side ``census`` operation — the draws are identical
+        (``seed + index``), so the outcomes are too.  Defaults to ``warm``
+        priority: a census is bulk work and must never starve an interactive
+        classify sharing the engine.
+        """
+        priority, deadline = self._scheduling(priority, deadline, "warm")
+        echo = validate_census_params(
+            {
+                "labels": labels,
+                "delta": delta,
+                "density": density,
+                "count": count,
+                "seed": seed,
+            }
+        )
+        if isinstance(self._driver, _RemoteDriver):
+            # Only the parameters travel; the server generates the draws.
+            return self._driver.iter_census(echo, priority, deadline)
+        problems, _echo = census_problems(echo)
+        return self._driver.iter_outcomes(problems, priority, deadline)
+
+    # ------------------------------------------------------------------
+    # Cache warming
+    # ------------------------------------------------------------------
+    def warm(
+        self,
+        problems: Optional[Iterable[ProblemSpec]] = None,
+        census: Optional[Mapping[str, Any]] = None,
+        *,
+        wait: bool = False,
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
+        budget: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Pre-populate the engine's cache ahead of a batch or census.
+
+        Name the workload as a list of problems, a census parameter object,
+        or both.  ``deadline`` bounds each key's search; ``budget`` is a
+        *wall-clock* budget in seconds spread best-effort across the whole
+        sweep — when it expires, unfinished searches are cancelled and the
+        summary reports ``within_budget``/``interrupted`` so a census can be
+        warmed with "spend at most N seconds" semantics (implies waiting).
+        """
+        priority, deadline = self._scheduling(priority, deadline, "warm")
+        if budget is not None and budget < 0:
+            raise RequestError("budget must be non-negative seconds")
+        if problems is None and census is None:
+            raise RequestError("warm requires problems and/or census parameters")
+        resolved: List[LCLProblem] = []
+        if problems is not None:
+            resolved.extend(
+                resolve_problem(problem, default_name=f"<warm>#{index + 1}")
+                for index, problem in enumerate(problems)
+            )
+        census_echo = validate_census_params(census) if census is not None else None
+        return self._driver.warm(
+            resolved, census_echo, wait, priority, deadline, budget
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection / control
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Uniform statistics: ``cache``, ``batch``, and ``workers`` sections.
+
+        The ``workers`` section includes the scheduler's ``search_times``
+        histogram, which is how operators pick deadlines from data.  Remote
+        sessions additionally carry the server's ``service`` section.  The
+        session's own endpoint is echoed under ``endpoint``.
+        """
+        payload = self._driver.stats()
+        payload["endpoint"] = self.endpoint
+        return payload
+
+    def cancel(self, request_id: Any) -> Dict[str, Any]:
+        """Cancel an in-flight *remote* request by its id (remote sessions)."""
+        return self._driver.cancel(request_id)
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask a remote service to persist its cache and exit."""
+        return self._driver.shutdown()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down owned resources; persist a configured local cache."""
+        if self._closed:
+            return
+        self._closed = True
+        self._driver.close()
+
+    def __enter__(self) -> "ClassificationSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"<ClassificationSession {self.endpoint} ({state})>"
+
+
+def connect(
+    endpoint: Union[str, SessionConfig] = "local://inline", **overrides: Any
+) -> ClassificationSession:
+    """Open a :class:`ClassificationSession` — the package's front door."""
+    return ClassificationSession.open(endpoint, **overrides)
+
+
+__all__ = [
+    "ClassificationSession",
+    "PendingOutcome",
+    "ProblemSpec",
+    "census_problems",
+    "connect",
+    "resolve_problem",
+    "validate_census_params",
+]

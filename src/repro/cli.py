@@ -10,54 +10,45 @@ Usage::
     python -m repro classify-batch many.txt             # '---'-separated problem blocks
     python -m repro census --labels 2 --count 200       # random-problem sweep
     python -m repro census --count 200 --worker-backend processes --workers 4
+    python -m repro warm --census --count 200 --cache results.json --budget 10
     python -m repro cache stats --cache results.json    # on-disk cache maintenance
     python -m repro cache compact --cache results.json --cache-max-entries 500
-    python -m repro serve --host 127.0.0.1 --port 8765  # long-running service (TCP)
-    python -m repro serve --stdio                       # service over stdin/stdout
+    python -m repro serve tcp://127.0.0.1:8765          # long-running service (TCP)
+    python -m repro serve stdio:                        # service over stdin/stdout
     python -m repro client --connect localhost:8765 classify problem.txt
     python -m repro client --connect localhost:8765 warm --census --count 200 --wait
+
+Every subcommand is a thin user of :mod:`repro.api`: it opens a
+:class:`~repro.api.ClassificationSession` on an endpoint —
+``local://inline`` by default, ``local://threads``/``local://processes``
+under the worker flags, ``tcp://host:port`` for the ``client`` subcommands —
+and renders the uniform :class:`~repro.api.Outcome` objects the session
+returns.  The classify/batch/census output is therefore *identical* in
+shape whether the searches ran in this process or on a remote service.
 
 A problem file contains one configuration per line in the paper's notation
 (``parent : child child ...``); blank lines and ``#`` comments are ignored
 (see :mod:`repro.core.parser` for the full grammar).  A *batch* file holds
-several such problems separated by lines containing only ``---``; a comment of
-the form ``# name: some-name`` inside a block names that problem.
+several such problems separated by lines containing only ``---``; a comment
+of the form ``# name: some-name`` inside a block names that problem.
 
-``classify-batch`` and ``census`` route through the batch engine
-(:mod:`repro.engine`): problems are deduplicated by a renaming-invariant
-canonical form, each unique representative is classified once, and results
-can persist across runs with ``--cache FILE`` (bounded with
-``--cache-max-entries N``, which evicts least recently used results).
-Uncached representatives execute on a worker backend selected with
-``--worker-backend {inline,threads,processes}`` and sized with ``--workers N``
-(:mod:`repro.workers`; ``--processes N`` remains as the legacy spelling of
-``--worker-backend processes --workers N``).  Every subcommand accepts
-``--json`` for machine-readable output.  The plain-text output reports the
-complexity class, the certificate label sets and, for ``n^{Θ(1)}`` problems,
-the ``Ω(n^{1/k})`` lower-bound exponent.
-
-``cache`` maintains on-disk classification caches without classifying
-anything: ``cache stats`` reports entry counts and file size, ``cache
-compact`` rewrites the file from the (optionally re-bounded) in-memory state
-and reports the bytes reclaimed.
-
-Because the certificate searches are exponential in the worst case, every
-classification command accepts ``--deadline SECONDS`` (a per-canonical-key
-search budget; blown budgets report outcome ``timeout`` — exit code 124 for
-single classifies — and never poison the cache) and ``--priority
-{interactive,batch,warm}`` (the scheduling class used when searches contend
-for workers; censuses default to ``warm``, the lowest).
+Batch work is deduplicated by a renaming-invariant canonical form and can
+persist across runs with ``--cache FILE`` (bounded with
+``--cache-max-entries N``).  Uncached representatives execute on a worker
+backend selected with ``--worker-backend {inline,threads,processes}`` and
+sized with ``--workers N`` (``--processes N`` remains as the legacy
+spelling).  Because the certificate searches are exponential in the worst
+case, every classification command accepts ``--deadline SECONDS`` (per-
+canonical-key search budget; blown budgets report outcome ``timeout`` —
+exit code 124 for single classifies) and ``--priority
+{interactive,batch,warm}``.  ``warm`` additionally accepts ``--budget
+SECONDS``, a wall-clock budget spread best-effort across the whole sweep.
 
 ``serve`` runs the long-running classification service of
-:mod:`repro.service` — a JSON-lines protocol over stdio or TCP in which one
-persistent cache is shared by every client, batch/census responses stream
-item by item, and searches fan out on the service's worker backend with
-single-flight deduplication per canonical key, priority scheduling, and
-deadline enforcement (spec: ``docs/service_protocol.md``).  ``client`` is
-its command-line counterpart: it connects to a running service and exposes
-the same classify/batch/census surface, plus ``warm`` (pre-populate the
-service cache ahead of a batch or census), ``cancel`` (detach an in-flight
-request by id), ``stats`` and ``shutdown``.
+:mod:`repro.service` on a ``tcp://`` or ``stdio:`` endpoint (spec:
+``docs/service_protocol.md``); ``client`` is its command-line counterpart,
+exposing the same classify/batch/census surface plus ``warm``, ``cancel``,
+``stats`` and ``shutdown`` through a ``tcp://`` session.
 """
 
 from __future__ import annotations
@@ -68,17 +59,22 @@ import glob
 import json
 import os
 import sys
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
+from .api import (
+    ClassificationSession,
+    Outcome,
+    SessionConfig,
+    SessionError,
+    parse_endpoint,
+)
+from .api.config import MODE_STDIO, MODE_TCP
 from .core.classifier import classify_with_certificates
 from .core.parser import parse_problem
 from .core.problem import LCLError, LCLProblem
-from .engine.batch import BatchClassifier, BatchItem
 from .engine.cache import ClassificationCache
-from .engine.serialization import problem_to_dict, result_to_dict
+from .engine.serialization import problem_to_dict
 from .problems.catalog import catalog
-from .problems.random_problems import random_problem
-from .service.client import ServiceClient, ServiceError
 from .service.server import ClassificationService
 from .workers.backends import BACKEND_NAMES
 from .workers.scheduler import PRIORITIES
@@ -154,87 +150,100 @@ def _read_batch(source: str) -> List[LCLProblem]:
         return _parse_batch_text(handle.read(), os.path.basename(source))
 
 
-def _make_cache(args: argparse.Namespace) -> Optional[ClassificationCache]:
-    """Build a cache from the ``--cache``/``--cache-max-entries`` flags."""
-    if not args.cache and args.cache_max_entries is None:
-        return None
-    return ClassificationCache(path=args.cache, max_entries=args.cache_max_entries)
-
-
-def _make_classifier(args: argparse.Namespace) -> BatchClassifier:
-    """Build a :class:`BatchClassifier` from the engine/worker flags."""
-    return BatchClassifier(
-        cache=_make_cache(args),
-        processes=args.processes,
-        backend=args.worker_backend,
-        workers=args.workers,
+# ----------------------------------------------------------------------
+# The session factory — the only place the CLI decides *where* work runs
+# ----------------------------------------------------------------------
+def _local_config(args: argparse.Namespace) -> SessionConfig:
+    """The engine/worker/cache flags as a local session configuration."""
+    backend = getattr(args, "worker_backend", None)
+    workers = getattr(args, "workers", None)
+    processes = getattr(args, "processes", None)
+    if backend is None and processes is not None and processes > 1:
+        backend, workers = "processes", workers or processes
+    return SessionConfig(
+        mode="local",
+        backend=backend or "inline",
+        workers=workers,
+        cache_path=getattr(args, "cache", None),
+        cache_max_entries=getattr(args, "cache_max_entries", None),
     )
 
 
-def _save_cache(classifier: BatchClassifier) -> None:
-    if classifier.cache.path:
-        classifier.cache.save()
+def _open_local_session(args: argparse.Namespace) -> ClassificationSession:
+    return ClassificationSession.open(_local_config(args))
+
+
+def _open_client_session(args: argparse.Namespace) -> ClassificationSession:
+    host, port = _parse_connect(args.connect)
+    return ClassificationSession.open(
+        SessionConfig(mode="tcp", host=host, port=port, retries=args.retries)
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared rendering of outcomes and summaries
+# ----------------------------------------------------------------------
+def _print_item_line(item: Dict[str, Any]) -> None:
+    if item.get("outcome", "ok") != "ok":
+        print(
+            f"[{item['outcome']}] {item['name']:28s} ({item['outcome']})", flush=True
+        )
+        return
+    origin = "cached" if item["from_cache"] else "search"
+    print(f"[{origin}] {item['name']:28s} {item['complexity']:16s}", flush=True)
+
+
+def _summarize_outcomes(outcomes: Sequence[Outcome]) -> Dict[str, Any]:
+    """The stream summary (hit/miss/interruption tallies) of a batch.
+
+    Computed from the same item fields the service's ``done`` frame is
+    computed from, so local and remote runs summarize identically: completed
+    items are the one denominator (hits + misses == completed).
+    """
+    count = len(outcomes)
+    timeouts = sum(1 for outcome in outcomes if outcome.outcome == "timeout")
+    cancelled = sum(1 for outcome in outcomes if outcome.outcome == "cancelled")
+    completed = count - timeouts - cancelled
+    hits = sum(1 for outcome in outcomes if outcome.ok and outcome.from_cache)
+    return {
+        "count": count,
+        "cache_hits": hits,
+        "cache_misses": completed - hits,
+        "hit_rate": hits / completed if completed else 0.0,
+        "timeouts": timeouts,
+        "cancelled": cancelled,
+    }
+
+
+def _print_stream_summary(summary: Dict[str, Any]) -> None:
+    interrupted = summary.get("timeouts", 0) + summary.get("cancelled", 0)
+    suffix = f", {interrupted} timed out/cancelled" if interrupted else ""
+    print(
+        f"\n{summary['count']} problem(s): {summary['cache_hits']} cache hit(s), "
+        f"{summary['cache_misses']} miss(es) (hit rate {summary['hit_rate']:.0%})"
+        f"{suffix}"
+    )
+
+
+def _tally_counts(outcomes: Sequence[Outcome]) -> Dict[str, int]:
+    """Census tally: complexity class per completed item, outcome otherwise."""
+    counts: Dict[str, int] = {}
+    for outcome in outcomes:
+        value = outcome.complexity if outcome.ok else outcome.outcome
+        counts[value] = counts.get(value, 0) + 1
+    return counts
 
 
 # ----------------------------------------------------------------------
 # classify
 # ----------------------------------------------------------------------
-def _classification_payload(problem: LCLProblem) -> Dict[str, Any]:
-    """The machine-readable classification of a single problem."""
-    artifacts = classify_with_certificates(problem)
-    result = artifacts.result
-    return {
-        "problem": problem_to_dict(problem),
-        "complexity": result.complexity.value,
-        "details": result.describe(),
-        "result": result_to_dict(result),
-        "elapsed_ms": artifacts.elapsed_seconds * 1000.0,
-    }
-
-
-def _report(problem: LCLProblem) -> str:
-    artifacts = classify_with_certificates(problem)
-    result = artifacts.result
+def _report_outcome(outcome: Outcome) -> str:
+    name = outcome.problem.summary() if outcome.problem else outcome.name
     lines = [
-        f"problem:    {problem.summary()}",
-        f"complexity: {result.complexity.value}",
-        f"details:    {result.describe()}",
-        f"time:       {artifacts.elapsed_seconds * 1000:.2f} ms",
-    ]
-    return "\n".join(lines)
-
-
-def _classify_single_with_options(args: argparse.Namespace) -> int:
-    """Classify one problem through the engine (honoring priority/deadline)."""
-    problem = _read_problem(args.problem)
-    with BatchClassifier() as classifier:
-        item = classifier.classify_item(
-            problem, priority=args.priority or "interactive", deadline=args.deadline
-        )
-    if args.json:
-        payload: Dict[str, Any] = {
-            "problem": problem_to_dict(problem),
-            "outcome": item.outcome,
-            "complexity": item.result.complexity.value if item.ok else None,
-            "details": item.result.describe() if item.ok else None,
-            "result": result_to_dict(item.result) if item.ok else None,
-            "elapsed_ms": item.elapsed_seconds * 1000.0,
-        }
-        print(json.dumps(payload, indent=2))
-    elif item.ok:
-        print(_report_item(problem, item))
-    else:
-        print(f"problem:    {problem.summary()}")
-        print(f"outcome:    {item.outcome} (deadline {args.deadline}s)")
-    return 0 if item.ok else TIMEOUT_EXIT_CODE
-
-
-def _report_item(problem: LCLProblem, item: BatchItem) -> str:
-    lines = [
-        f"problem:    {problem.summary()}",
-        f"complexity: {item.result.complexity.value}",
-        f"details:    {item.result.describe()}",
-        f"time:       {item.elapsed_seconds * 1000:.2f} ms",
+        f"problem:    {name}",
+        f"complexity: {outcome.complexity}",
+        f"details:    {outcome.details}",
+        f"time:       {outcome.elapsed_ms:.2f} ms",
     ]
     return "\n".join(lines)
 
@@ -276,58 +285,33 @@ def _run_classify(args: argparse.Namespace) -> int:
     if not args.problem:
         print("error: provide a problem file, '-' for stdin, or --catalog", file=sys.stderr)
         return 2
-    if args.deadline is not None or args.priority is not None:
-        # Route through the engine: the scheduler enforces the deadline
-        # cooperatively and reports a structured timeout outcome.
-        return _classify_single_with_options(args)
     problem = _read_problem(args.problem)
+    with ClassificationSession.open("local://inline") as session:
+        outcome = session.classify(
+            problem, priority=args.priority or "interactive", deadline=args.deadline
+        )
     if args.json:
-        print(json.dumps(_classification_payload(problem), indent=2))
+        payload: Dict[str, Any] = {
+            "problem": problem_to_dict(problem),
+            **outcome.as_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+    elif outcome.ok:
+        print(_report_outcome(outcome))
     else:
-        print(_report(problem))
-    return 0
+        print(f"problem:    {problem.summary()}")
+        print(f"outcome:    {outcome.outcome} (deadline {args.deadline}s)")
+    return 0 if outcome.ok else TIMEOUT_EXIT_CODE
 
 
 # ----------------------------------------------------------------------
 # classify-batch
 # ----------------------------------------------------------------------
-def _batch_item_payload(item: BatchItem) -> Dict[str, Any]:
-    if not item.ok:
-        return {
-            "name": item.problem.name,
-            "outcome": item.outcome,
-            "complexity": None,
-            "details": None,
-            "from_cache": False,
-            "canonical_key": item.canonical_key,
-            "result": None,
-        }
-    return {
-        "name": item.problem.name,
-        "outcome": item.outcome,
-        "complexity": item.result.complexity.value,
-        "details": item.result.describe(),
-        "from_cache": item.from_cache,
-        "canonical_key": item.canonical_key,
-        "result": result_to_dict(item.result),
-    }
-
-
-def _item_line_fields(item: BatchItem) -> tuple:
-    """The ``[origin] name class`` triple of one report line."""
-    if not item.ok:
-        return item.outcome, item.problem.name, f"({item.outcome})"
-    origin = "cached" if item.from_cache else "search"
-    return origin, item.problem.name, item.result.complexity.value
-
-
-def _print_batch_report(items: List[BatchItem], classifier: BatchClassifier) -> None:
-    for item in items:
-        origin, name, value = _item_line_fields(item)
-        print(f"[{origin}] {name:28s} {value:16s}")
-    stats = classifier.stats_report()
+def _print_batch_report(outcomes: List[Outcome], stats: Dict[str, Any]) -> None:
+    for outcome in outcomes:
+        _print_item_line(outcome.as_dict())
     batch, cache = stats["batch"], stats["cache"]
-    interrupted = sum(1 for item in items if not item.ok)
+    interrupted = sum(1 for outcome in outcomes if not outcome.ok)
     suffix = f"; {interrupted} timed out/cancelled" if interrupted else ""
     print(
         f"\n{batch['submitted']} problem(s), {batch['full_searches']} full search(es), "
@@ -338,58 +322,51 @@ def _print_batch_report(items: List[BatchItem], classifier: BatchClassifier) -> 
 
 def _run_classify_batch(args: argparse.Namespace) -> int:
     problems = _read_batch(args.source)
-    with _make_classifier(args) as classifier:
-        items = classifier.classify_many(
-            problems, priority=args.priority or "batch", deadline=args.deadline
+    with _open_local_session(args) as session:
+        outcomes = list(
+            session.classify_many(
+                problems, priority=args.priority or "batch", deadline=args.deadline
+            )
         )
-    _save_cache(classifier)
+        stats = session.stats()
     if args.json:
         payload = {
-            "items": [_batch_item_payload(item) for item in items],
-            "stats": classifier.stats_report(),
+            "items": [outcome.as_dict() for outcome in outcomes],
+            "stats": stats,
         }
         print(json.dumps(payload, indent=2))
         return 0
-    _print_batch_report(items, classifier)
+    _print_batch_report(outcomes, stats)
     return 0
 
 
 # ----------------------------------------------------------------------
 # census
 # ----------------------------------------------------------------------
+def _census_params(args: argparse.Namespace) -> Dict[str, Any]:
+    return {
+        "labels": args.labels,
+        "delta": args.delta,
+        "density": args.density,
+        "count": args.count,
+        "seed": args.seed,
+    }
+
+
 def _run_census(args: argparse.Namespace) -> int:
-    problems = [
-        random_problem(
-            args.labels,
-            delta=args.delta,
-            density=args.density,
-            seed=args.seed + index,
-        )
-        for index in range(args.count)
-    ]
-    with _make_classifier(args) as classifier:
+    params = _census_params(args)
+    with _open_local_session(args) as session:
         # A census is bulk work: schedule it at the lowest class by default
         # so an interactive classify sharing the scheduler overtakes it.
-        items = classifier.classify_many(
-            problems, priority=args.priority or "warm", deadline=args.deadline
+        outcomes = list(
+            session.census(
+                **params, priority=args.priority or "warm", deadline=args.deadline
+            )
         )
-    _save_cache(classifier)
-    counts: Dict[str, int] = {}
-    for item in items:
-        value = item.result.complexity.value if item.ok else item.outcome
-        counts[value] = counts.get(value, 0) + 1
+        stats = session.stats()
+    counts = _tally_counts(outcomes)
     if args.json:
-        payload = {
-            "params": {
-                "labels": args.labels,
-                "delta": args.delta,
-                "density": args.density,
-                "count": args.count,
-                "seed": args.seed,
-            },
-            "counts": counts,
-            "stats": classifier.stats_report(),
-        }
+        payload = {"params": params, "counts": counts, "stats": stats}
         print(json.dumps(payload, indent=2))
         return 0
     print(
@@ -398,12 +375,62 @@ def _run_census(args: argparse.Namespace) -> int:
     )
     for value, count in sorted(counts.items(), key=lambda pair: -pair[1]):
         print(f"  {value:16s} {count:5d}")
-    stats = classifier.stats_report()
     batch = stats["batch"]
     print(
         f"\n{batch['full_searches']} full search(es) for {batch['submitted']} "
         f"problem(s) ({batch['speedup']:.1f}x amortization)"
     )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# warm (local cache warming, incl. wall-clock budgets)
+# ----------------------------------------------------------------------
+def _warm_workload(args: argparse.Namespace):
+    problems = None
+    if args.source is not None:
+        problems = _read_batch(args.source)
+    census = _census_params(args) if args.census else None
+    return problems, census
+
+
+def _print_warm_summary(summary: Dict[str, Any]) -> None:
+    mode = "waited for" if summary.get("waited") else "scheduled in background:"
+    print(
+        f"warm: {summary['count']} problem(s), {summary['unique_keys']} unique "
+        f"orbit(s); {summary['already_cached']} already cached, "
+        f"{mode} {summary['scheduled']} search(es)"
+    )
+    if "within_budget" in summary:
+        state = "exhausted" if summary.get("budget_exhausted") else "sufficient"
+        print(
+            f"budget: {summary['budget_seconds']}s ({state}); "
+            f"{summary['within_budget']} completed within it, "
+            f"{summary.get('interrupted', 0)} interrupted"
+        )
+
+
+def _run_warm(args: argparse.Namespace) -> int:
+    problems, census = _warm_workload(args)
+    if problems is None and census is None:
+        print(
+            "error: provide a batch source and/or --census parameters to warm",
+            file=sys.stderr,
+        )
+        return 2
+    with _open_local_session(args) as session:
+        summary = session.warm(
+            problems=problems,
+            census=census,
+            wait=args.wait,
+            priority=args.priority,
+            deadline=args.deadline,
+            budget=args.budget,
+        )
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    _print_warm_summary(summary)
     return 0
 
 
@@ -458,9 +485,37 @@ def _run_cache_compact(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # serve
 # ----------------------------------------------------------------------
+def _serve_settings(args: argparse.Namespace) -> argparse.Namespace:
+    """Fold an optional ``serve ENDPOINT`` positional into the legacy flags."""
+    if not args.endpoint:
+        return args
+    config = parse_endpoint(args.endpoint)
+    if config.mode == MODE_TCP:
+        args.host = config.host
+        args.port = config.port
+    elif config.mode == MODE_STDIO:
+        args.stdio = True
+    else:
+        raise LCLError(
+            f"serve expects a tcp:// or stdio: endpoint, got {args.endpoint!r} "
+            "(local:// endpoints need no server — open a session on them directly)"
+        )
+    if config.cache_path:
+        args.cache = config.cache_path
+    if config.cache_max_entries is not None:
+        args.cache_max_entries = config.cache_max_entries
+    return args
+
+
 def _run_serve(args: argparse.Namespace) -> int:
+    args = _serve_settings(args)
+    cache = None
+    if args.cache or args.cache_max_entries is not None:
+        cache = ClassificationCache(
+            path=args.cache, max_entries=args.cache_max_entries
+        )
     service = ClassificationService(
-        cache=_make_cache(args),
+        cache=cache,
         backend=args.worker_backend,
         workers=args.workers,
     )
@@ -492,43 +547,16 @@ def _parse_connect(value: str) -> tuple:
     return host, int(port_text)
 
 
-def _print_item_line(item: Dict[str, Any]) -> None:
-    if item.get("outcome", "ok") != "ok":
-        print(
-            f"[{item['outcome']}] {item['name']:28s} ({item['outcome']})", flush=True
-        )
-        return
-    origin = "cached" if item["from_cache"] else "search"
-    print(f"[{origin}] {item['name']:28s} {item['complexity']:16s}", flush=True)
-
-
-def _print_stream_summary(summary: Dict[str, Any]) -> None:
-    interrupted = summary.get("timeouts", 0) + summary.get("cancelled", 0)
-    suffix = f", {interrupted} timed out/cancelled" if interrupted else ""
-    print(
-        f"\n{summary['count']} problem(s): {summary['cache_hits']} cache hit(s), "
-        f"{summary['cache_misses']} miss(es) (hit rate {summary['hit_rate']:.0%})"
-        f"{suffix}"
-    )
-
-
-def _deadline_ms(args: argparse.Namespace) -> Optional[float]:
-    """The --deadline seconds flag as the protocol's ``deadline_ms`` field."""
-    return args.deadline * 1000.0 if args.deadline is not None else None
-
-
-def _client_classify(args: argparse.Namespace, client: ServiceClient) -> int:
+def _client_classify(args: argparse.Namespace, session: ClassificationSession) -> int:
     problem = _read_problem(args.problem)
-    payload = client.classify(
-        problem_to_dict(problem),
-        priority=args.priority,
-        deadline_ms=_deadline_ms(args),
+    outcome = session.classify(
+        problem, priority=args.priority, deadline=args.deadline
     )
-    timed_out = payload.get("outcome", "ok") != "ok"
+    payload = outcome.as_dict()
     if args.json:
         print(json.dumps(payload, indent=2))
-        return TIMEOUT_EXIT_CODE if timed_out else 0
-    if timed_out:
+        return 0 if outcome.ok else TIMEOUT_EXIT_CODE
+    if not outcome.ok:
         print(f"problem:    {payload['name']}")
         print(f"outcome:    {payload['outcome']}")
         return TIMEOUT_EXIT_CODE
@@ -539,34 +567,44 @@ def _client_classify(args: argparse.Namespace, client: ServiceClient) -> int:
     return 0
 
 
-def _client_batch(args: argparse.Namespace, client: ServiceClient) -> int:
-    specs = [problem_to_dict(problem) for problem in _read_batch(args.source)]
-    options = {"priority": args.priority, "deadline_ms": _deadline_ms(args)}
+def _client_batch(args: argparse.Namespace, session: ClassificationSession) -> int:
+    problems = _read_batch(args.source)
+    stream = session.classify_many(
+        problems, priority=args.priority, deadline=args.deadline
+    )
+    outcomes: List[Outcome] = []
     if args.json:
-        items: List[Dict[str, Any]] = []
-        summary = client.classify_batch(specs, on_item=items.append, **options)
+        outcomes = list(stream)
+    else:
+        for outcome in stream:
+            _print_item_line(outcome.as_dict())
+            outcomes.append(outcome)
+    summary = _summarize_outcomes(outcomes)
+    summary["stats"] = session.stats()
+    if args.json:
+        items = [outcome.as_dict() for outcome in outcomes]
         print(json.dumps({"items": items, "summary": summary}, indent=2))
         return 0
-    summary = client.classify_batch(specs, on_item=_print_item_line, **options)
     _print_stream_summary(summary)
     return 0
 
 
-def _client_census(args: argparse.Namespace, client: ServiceClient) -> int:
-    kwargs = {
-        "labels": args.labels,
-        "delta": args.delta,
-        "density": args.density,
-        "count": args.count,
-        "seed": args.seed,
-        "priority": args.priority,
-        "deadline_ms": _deadline_ms(args),
-    }
+def _client_census(args: argparse.Namespace, session: ClassificationSession) -> int:
+    stream = session.census(
+        **_census_params(args), priority=args.priority, deadline=args.deadline
+    )
+    outcomes: List[Outcome] = []
+    for outcome in stream:
+        if not args.json:
+            _print_item_line(outcome.as_dict())
+        outcomes.append(outcome)
+    summary = _summarize_outcomes(outcomes)
+    summary["counts"] = _tally_counts(outcomes)
+    summary["params"] = _census_params(args)
+    summary["stats"] = session.stats()
     if args.json:
-        summary = client.census(**kwargs)
         print(json.dumps(summary, indent=2))
         return 0
-    summary = client.census(on_item=_print_item_line, **kwargs)
     print("\nCensus tally:")
     for value, count in sorted(summary["counts"].items(), key=lambda pair: -pair[1]):
         print(f"  {value:16s} {count:5d}")
@@ -574,9 +612,9 @@ def _client_census(args: argparse.Namespace, client: ServiceClient) -> int:
     return 0
 
 
-def _client_cancel(args: argparse.Namespace, client: ServiceClient) -> int:
+def _client_cancel(args: argparse.Namespace, session: ClassificationSession) -> int:
     request_id = int(args.request_id) if args.request_id.isdigit() else args.request_id
-    payload = client.cancel(request_id)
+    payload = session.cancel(request_id)
     if args.json:
         print(json.dumps(payload, indent=2))
         return 0
@@ -590,40 +628,26 @@ def _client_cancel(args: argparse.Namespace, client: ServiceClient) -> int:
     return 1
 
 
-def _client_warm(args: argparse.Namespace, client: ServiceClient) -> int:
-    problems = None
-    if args.source is not None:
-        problems = [problem_to_dict(problem) for problem in _read_batch(args.source)]
-    census = None
-    if args.census:
-        census = {
-            "labels": args.labels,
-            "delta": args.delta,
-            "density": args.density,
-            "count": args.count,
-            "seed": args.seed,
-        }
+def _client_warm(args: argparse.Namespace, session: ClassificationSession) -> int:
+    problems, census = _warm_workload(args)
     if problems is None and census is None:
         print(
             "error: provide a batch source and/or --census parameters to warm",
             file=sys.stderr,
         )
         return 2
-    summary = client.warm(problems=problems, census=census, wait=args.wait)
+    summary = session.warm(
+        problems=problems, census=census, wait=args.wait, budget=args.budget
+    )
     if args.json:
         print(json.dumps(summary, indent=2))
         return 0
-    mode = "waited for" if summary.get("waited") else "scheduled in background:"
-    print(
-        f"warm: {summary['count']} problem(s), {summary['unique_keys']} unique "
-        f"orbit(s); {summary['already_cached']} already cached, "
-        f"{mode} {summary['scheduled']} search(es)"
-    )
+    _print_warm_summary(summary)
     return 0
 
 
-def _client_stats(args: argparse.Namespace, client: ServiceClient) -> int:
-    payload = client.stats()
+def _client_stats(args: argparse.Namespace, session: ClassificationSession) -> int:
+    payload = session.stats()
     if args.json:
         print(json.dumps(payload, indent=2))
         return 0
@@ -648,11 +672,19 @@ def _client_stats(args: argparse.Namespace, client: ServiceClient) -> int:
             f"{workers['scheduled']} scheduled, {workers['deduped']} deduped, "
             f"{workers['in_flight']} in flight"
         )
+        search_times = workers.get("search_times") or {}
+        if search_times.get("count"):
+            print(
+                f"searches: {search_times['count']} completed, "
+                f"p50 {search_times['p50_ms']:.1f} ms, "
+                f"p99 {search_times['p99_ms']:.1f} ms, "
+                f"max {search_times['max_ms']:.1f} ms"
+            )
     return 0
 
 
-def _client_shutdown(args: argparse.Namespace, client: ServiceClient) -> int:
-    payload = client.shutdown()
+def _client_shutdown(args: argparse.Namespace, session: ClassificationSession) -> int:
+    payload = session.shutdown()
     if args.json:
         print(json.dumps(payload, indent=2))
         return 0
@@ -662,11 +694,10 @@ def _client_shutdown(args: argparse.Namespace, client: ServiceClient) -> int:
 
 
 def _run_client(args: argparse.Namespace) -> int:
-    host, port = _parse_connect(args.connect)
     try:
-        with ServiceClient.connect_tcp(host, port, retries=args.retries) as client:
-            return args.client_handler(args, client)
-    except ServiceError as error:
+        with _open_client_session(args) as session:
+            return args.client_handler(args, session)
+    except SessionError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 
@@ -747,6 +778,58 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_census_params(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--labels", type=int, default=2, help="alphabet size (default: 2)"
+    )
+    parser.add_argument(
+        "--delta", type=int, default=2, help="children per internal node (default: 2)"
+    )
+    parser.add_argument(
+        "--density",
+        type=float,
+        default=0.5,
+        help="probability of keeping each configuration (default: 0.5)",
+    )
+    parser.add_argument(
+        "--count", type=int, default=100, help="number of random draws (default: 100)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base random seed (default: 0)"
+    )
+
+
+def _add_warm_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "source",
+        nargs="?",
+        default=None,
+        help="optional batch source (directory, '---'-separated file, or '-')",
+    )
+    parser.add_argument(
+        "--census",
+        action="store_true",
+        help="warm the canonical keys of a random census instead of (or besides) a batch",
+    )
+    _add_census_params(parser)
+    parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the scheduled searches finish (default: background)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget spread best-effort across the whole sweep; "
+            "unfinished searches are cancelled when it expires (implies waiting)"
+        ),
+    )
+    parser.add_argument("--json", action="store_true")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -784,26 +867,26 @@ def build_parser() -> argparse.ArgumentParser:
     census_parser = subparsers.add_parser(
         "census", help="classify a sweep of random problems and tally the classes"
     )
-    census_parser.add_argument(
-        "--labels", type=int, default=2, help="alphabet size (default: 2)"
-    )
-    census_parser.add_argument(
-        "--delta", type=int, default=2, help="children per internal node (default: 2)"
-    )
-    census_parser.add_argument(
-        "--density",
-        type=float,
-        default=0.5,
-        help="probability of keeping each configuration (default: 0.5)",
-    )
-    census_parser.add_argument(
-        "--count", type=int, default=100, help="number of random draws (default: 100)"
-    )
-    census_parser.add_argument(
-        "--seed", type=int, default=0, help="base random seed (default: 0)"
-    )
+    _add_census_params(census_parser)
     _add_engine_flags(census_parser)
     census_parser.set_defaults(handler=_run_census)
+
+    warm_parser = subparsers.add_parser(
+        "warm",
+        help="pre-populate a local classification cache, optionally on a time budget",
+    )
+    _add_warm_arguments(warm_parser)
+    warm_parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="legacy alias for --worker-backend processes --workers N",
+    )
+    _add_worker_flags(warm_parser)
+    _add_scheduling_flags(warm_parser)
+    _add_cache_flags(warm_parser)
+    warm_parser.set_defaults(handler=_run_warm)
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect and maintain an on-disk classification cache"
@@ -834,6 +917,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser = subparsers.add_parser(
         "serve",
         help="run the long-running classification service (JSON-lines protocol)",
+    )
+    serve_parser.add_argument(
+        "endpoint",
+        nargs="?",
+        default=None,
+        help=(
+            "service endpoint: tcp://HOST:PORT or stdio: "
+            "(overrides --host/--port/--stdio; query parameters may set "
+            "cache=FILE and cache_max_entries=N)"
+        ),
     )
     serve_parser.add_argument(
         "--stdio",
@@ -895,11 +988,7 @@ def build_parser() -> argparse.ArgumentParser:
     client_census = client_sub.add_parser(
         "census", help="run a server-side random census, streaming results"
     )
-    client_census.add_argument("--labels", type=int, default=2)
-    client_census.add_argument("--delta", type=int, default=2)
-    client_census.add_argument("--density", type=float, default=0.5)
-    client_census.add_argument("--count", type=int, default=100)
-    client_census.add_argument("--seed", type=int, default=0)
+    _add_census_params(client_census)
     client_census.add_argument("--json", action="store_true")
     _add_scheduling_flags(client_census)
     client_census.set_defaults(client_handler=_client_census)
@@ -919,28 +1008,7 @@ def build_parser() -> argparse.ArgumentParser:
         "warm",
         help="pre-populate the service cache ahead of a batch or census",
     )
-    client_warm.add_argument(
-        "source",
-        nargs="?",
-        default=None,
-        help="optional batch source (directory, '---'-separated file, or '-')",
-    )
-    client_warm.add_argument(
-        "--census",
-        action="store_true",
-        help="warm the canonical keys of a random census instead of (or besides) a batch",
-    )
-    client_warm.add_argument("--labels", type=int, default=2)
-    client_warm.add_argument("--delta", type=int, default=2)
-    client_warm.add_argument("--density", type=float, default=0.5)
-    client_warm.add_argument("--count", type=int, default=100)
-    client_warm.add_argument("--seed", type=int, default=0)
-    client_warm.add_argument(
-        "--wait",
-        action="store_true",
-        help="block until the scheduled searches finish (default: background)",
-    )
-    client_warm.add_argument("--json", action="store_true")
+    _add_warm_arguments(client_warm)
     client_warm.set_defaults(client_handler=_client_warm)
 
     client_stats = client_sub.add_parser(
@@ -966,9 +1034,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (ValueError, OSError) as error:
-        # LCLError (malformed problems), JSONDecodeError (corrupt caches) and
-        # file-system errors all surface as one-line CLI errors, not tracebacks.
+    except (ValueError, OSError, SessionError) as error:
+        # LCLError (malformed problems), JSONDecodeError (corrupt caches),
+        # file-system errors, and session/endpoint errors all surface as
+        # one-line CLI errors, not tracebacks.
         print(f"error: {error}", file=sys.stderr)
         return 1
 

@@ -180,6 +180,14 @@ class PendingClassification:
 class BatchClassifier:
     """Canonical-form-deduplicating, caching classifier front-end.
 
+    .. deprecated:: 1.2
+        Constructing a ``BatchClassifier`` directly is the *legacy* front
+        door.  New code should open a :class:`repro.api.ClassificationSession`
+        (``repro.api.connect("local://threads?workers=8")``), which absorbs
+        the ``cache``/``backend``/``workers`` kwargs into one endpoint and
+        returns the uniform :class:`~repro.api.Outcome` type.  This class
+        remains supported as the session's local execution engine.
+
     Parameters
     ----------
     cache:

@@ -48,7 +48,16 @@ class ServiceError(RuntimeError):
 
 
 class ServiceClient:
-    """A synchronous JSON-lines client over a pair of text streams."""
+    """A synchronous JSON-lines client over a pair of text streams.
+
+    .. deprecated:: 1.2
+        Constructing a ``ServiceClient`` directly is the *legacy* remote
+        front door.  New code should open a
+        :class:`repro.api.ClassificationSession` on a ``tcp://host:port`` or
+        ``stdio:`` endpoint, which wraps this client behind the same typed
+        surface as local execution.  The raw client remains supported as the
+        session's wire layer (and for protocol-level tests).
+    """
 
     def __init__(
         self,
@@ -186,6 +195,34 @@ class ServiceClient:
                 )
         raise ServiceError("connection-closed", "stream ended without a terminal frame")
 
+    def stream(
+        self, op: str, params: Optional[Dict[str, Any]] = None
+    ) -> Iterator[Dict[str, Any]]:
+        """Send one request; *yield* each streamed item payload as it arrives.
+
+        The generator edge of :meth:`request`, used by the session facade to
+        expose batches and censuses as iterators.  The terminal ``done``/
+        ``result`` data is kept on :attr:`last_summary` once the generator is
+        exhausted; ``error`` frames raise :class:`ServiceError`.  Abandoning
+        the generator mid-stream is safe — leftover frames of this request
+        are skipped by the next request's frame loop.
+        """
+        self.last_summary: Optional[Dict[str, Any]] = None
+        request_id = self._send_request(op, params)
+        for frame in self.frames(request_id):
+            kind = frame.get("type")
+            if kind == "item":
+                yield frame["data"]
+            elif kind in ("done", "result"):
+                self.last_summary = frame.get("data", {})
+                return
+            elif kind == "error":
+                error = frame.get("error", {})
+                raise ServiceError(
+                    error.get("code", "unknown"), error.get("message", "")
+                )
+        raise ServiceError("connection-closed", "stream ended without a terminal frame")
+
     @staticmethod
     def _scheduling_params(
         params: Dict[str, Any],
@@ -289,6 +326,7 @@ class ServiceClient:
         wait: bool = False,
         priority: Optional[str] = None,
         deadline_ms: Optional[float] = None,
+        budget_ms: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Pre-populate the service cache ahead of a batch or census.
 
@@ -297,9 +335,15 @@ class ServiceClient:
         service schedules every distinct uncached canonical key on its worker
         backend.  With ``wait=True`` the call returns after the searches
         complete (the follow-up request is then answered entirely from
-        cache); otherwise the cache fills in the background.
+        cache); otherwise the cache fills in the background.  ``budget_ms``
+        is a *wall-clock* budget spread best-effort across the whole sweep:
+        the service waits until the budget expires, cancels whatever is still
+        unfinished, and reports how many keys completed within it (implies
+        waiting; ``deadline_ms`` remains the per-key bound).
         """
         params: Dict[str, Any] = {"wait": wait}
+        if budget_ms is not None:
+            params["budget_ms"] = budget_ms
         if problems is not None:
             params["problems"] = [
                 problem_params(problem)["problem"] for problem in problems

@@ -474,13 +474,24 @@ class ClassificationService:
         uncached canonical key is scheduled on the worker backend.  With
         ``params.wait=true`` the response is sent after the searches finish;
         otherwise it returns immediately and the cache fills (and persists)
-        in the background.
+        in the background.  ``params.budget_ms`` is a wall-clock budget
+        spread best-effort across the whole sweep: when it expires, this
+        warm's unfinished searches are cancelled and the summary reports
+        ``within_budget`` — a budget implies waiting.
         """
         params = request.params
         specs = params.get("problems")
         census = params.get("census")
         wait = bool(params.get("wait", False))
         priority, deadline = self._request_options(params, default_priority="warm")
+        budget_ms = params.get("budget_ms")
+        budget: Optional[float] = None
+        if budget_ms is not None:
+            if isinstance(budget_ms, bool) or not isinstance(budget_ms, (int, float)):
+                raise ProtocolError(ERROR_BAD_REQUEST, "budget_ms must be a number")
+            if budget_ms < 0:
+                raise ProtocolError(ERROR_BAD_REQUEST, "budget_ms must be non-negative")
+            budget = budget_ms / 1000.0
         if specs is None and census is None:
             raise ProtocolError(
                 ERROR_BAD_REQUEST, "warm requires params.problems or params.census"
@@ -510,13 +521,14 @@ class ClassificationService:
                 wait=wait,
                 priority=priority,
                 deadline=deadline,
+                budget=budget,
             ),
         )
         summary["count"] = len(problems)
         # Like the other handlers, skip the file rewrite when nothing new was
         # classified (an already-hot warm must stay cheap).
         if summary["scheduled"]:
-            if wait:
+            if summary["waited"]:
                 self._save_cache()
             else:
                 self._spawn_background(self._save_cache_when_idle())

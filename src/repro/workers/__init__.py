@@ -48,6 +48,7 @@ from .backends import (
     create_backend,
     usable_cpus,
 )
+from .metrics import BUCKET_BOUNDS_MS, SearchTimeStats
 from .scheduler import (
     DEFAULT_PRIORITY,
     JOB_CACHE_HIT,
@@ -64,6 +65,7 @@ from .scheduler import (
 
 __all__ = [
     "BACKEND_NAMES",
+    "BUCKET_BOUNDS_MS",
     "CancelToken",
     "ClassificationJob",
     "ClassificationScheduler",
@@ -78,6 +80,7 @@ __all__ = [
     "ProcessBackend",
     "SchedulerStats",
     "SearchCancelled",
+    "SearchTimeStats",
     "SearchInterrupted",
     "SearchTimeout",
     "TaskHandle",

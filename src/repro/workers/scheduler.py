@@ -66,6 +66,7 @@ import itertools
 import threading
 import time
 from concurrent.futures import CancelledError, Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
@@ -88,6 +89,7 @@ from ..engine.serialization import (
     result_to_dict,
 )
 from .backends import InlineBackend, TaskHandle, WorkerBackend
+from .metrics import SearchTimeStats
 
 _SearchTask = Tuple[str, Dict[str, Any], Dict[str, str]]
 
@@ -348,6 +350,9 @@ class ClassificationScheduler:
         self.cache = cache if cache is not None else ClassificationCache()
         self.backend = backend if backend is not None else InlineBackend()
         self.stats = SchedulerStats()
+        # Completed-search durations, per canonical key: the histogram
+        # operators read (via `stats`) to pick deadlines from data.
+        self.search_times = SearchTimeStats()
         self._task = task
         self._lock = threading.Lock()
         self._in_flight: Dict[str, _Flight] = {}
@@ -553,6 +558,9 @@ class ClassificationScheduler:
             # else: a zombie completing after cancellation — its waiters were
             # already resolved and its slot already released at cancel time.
         if claimed and error is None:
+            self.search_times.record(
+                flight.key, payload.get("elapsed_seconds", 0.0)
+            )
             # Store *before* retiring the key, and outside the scheduler
             # lock: a racing submit then sees the entry cached or in flight
             # (briefly both), never neither — so single flight stays exact —
@@ -652,6 +660,7 @@ class ClassificationScheduler:
         wait: bool = False,
         priority: str = "warm",
         deadline: Optional[float] = None,
+        budget: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Pre-schedule every distinct uncached form; report what happened.
 
@@ -661,10 +670,23 @@ class ClassificationScheduler:
         ``failed`` count, interrupted searches into ``interrupted`` — warming
         is best-effort); otherwise it returns immediately while the backend
         fills the cache in the background.
+
+        ``budget`` makes the sweep *deadline-aware as a whole*: a wall-clock
+        budget in seconds spread best-effort across every scheduled search
+        (as opposed to ``deadline``, which bounds each key individually).
+        When the budget expires, this caller's remaining warm submissions are
+        cancelled — completed keys stay cached, a search another client is
+        also waiting on keeps running for them, and the summary reports
+        ``within_budget``/``interrupted`` so operators see exactly how far
+        the budget got.  A budget implies waiting (the sweep must be observed
+        to know when to stop it).
         """
         unique: Dict[str, CanonicalForm] = {}
         for form in forms:
             unique.setdefault(form.key, form)
+        budget_ends = (
+            time.monotonic() + budget if budget is not None else None
+        )
         jobs = [
             self.submit(form, priority=priority, deadline=deadline)
             for form in unique.values()
@@ -674,20 +696,48 @@ class ClassificationScheduler:
             "already_cached": sum(1 for job in jobs if job.kind == JOB_CACHE_HIT),
             "shared": sum(1 for job in jobs if job.kind == JOB_SHARED),
             "scheduled": sum(1 for job in jobs if job.kind == JOB_SCHEDULED),
-            "waited": bool(wait),
+            "waited": bool(wait or budget is not None),
         }
-        if wait:
-            failed = 0
-            interrupted = 0
-            for job in jobs:
-                try:
-                    job.result()
-                except SearchInterrupted:
-                    interrupted += 1
-                except Exception:  # noqa: BLE001 - warming is best-effort
-                    failed += 1
-            summary["failed"] = failed
-            summary["interrupted"] = interrupted
+        if budget is not None:
+            summary["budget_seconds"] = budget
+        if not summary["waited"]:
+            return summary
+        failed = 0
+        interrupted = 0
+        completed = 0
+        budget_exhausted = False
+        for job in jobs:
+            remaining: Optional[float] = None
+            if budget_ends is not None:
+                remaining = max(0.0, budget_ends - time.monotonic())
+            try:
+                job.result(timeout=remaining)
+                completed += 1
+                continue
+            except SearchInterrupted:
+                interrupted += 1
+                continue
+            except FuturesTimeoutError:
+                # The budget ran out while this search was still going:
+                # detach (cancelling the search when we were its only
+                # waiter) and fall through to collect the verdict below.
+                budget_exhausted = True
+                job.cancel()
+            except Exception:  # noqa: BLE001 - warming is best-effort
+                failed += 1
+                continue
+            try:
+                job.result(timeout=5.0)
+                completed += 1  # finished in the cancel window: still counts
+            except SearchInterrupted:
+                interrupted += 1
+            except Exception:  # noqa: BLE001
+                failed += 1
+        summary["failed"] = failed
+        summary["interrupted"] = interrupted
+        if budget is not None:
+            summary["within_budget"] = completed
+            summary["budget_exhausted"] = budget_exhausted
         return summary
 
     def wait_idle(self, timeout: Optional[float] = None) -> bool:
@@ -748,6 +798,7 @@ class ClassificationScheduler:
         payload["slots_in_use"] = slots
         payload["utilization"] = min(1.0, slots / workers) if workers else 0.0
         payload["priorities"] = list(PRIORITIES)
+        payload["search_times"] = self.search_times.as_dict()
         return payload
 
     def close(self) -> None:

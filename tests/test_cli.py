@@ -463,3 +463,144 @@ def test_classify_catalog_rejects_scheduling_flags(capsys):
     assert "--catalog" in capsys.readouterr().err
     assert main(["classify", "--catalog", "--priority", "interactive"]) == 2
     assert "--catalog" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Session facade wiring (PR 5): warm subcommand, serve endpoints
+# ----------------------------------------------------------------------
+def test_warm_parser_wiring():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["warm", "--census", "--count", "30", "--budget", "5", "--cache", "c.json"]
+    )
+    assert args.census is True and args.count == 30
+    assert args.budget == 5.0
+    assert args.cache == "c.json"
+    args = parser.parse_args(["serve", "tcp://0.0.0.0:9000"])
+    assert args.endpoint == "tcp://0.0.0.0:9000"
+    args = parser.parse_args(["serve"])
+    assert args.endpoint is None
+    args = parser.parse_args(
+        ["client", "--connect", "h:1", "warm", "--census", "--budget", "2.5"]
+    )
+    assert args.budget == 2.5
+
+
+def test_warm_subcommand_fills_cache_within_budget(tmp_path, capsys):
+    cache_file = tmp_path / "warm.json"
+    assert (
+        main(
+            [
+                "warm",
+                "--census",
+                "--count",
+                "20",
+                "--budget",
+                "60",
+                "--cache",
+                str(cache_file),
+                "--worker-backend",
+                "threads",
+                "--workers",
+                "2",
+                "--json",
+            ]
+        )
+        == 0
+    )
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["waited"] is True
+    assert summary["budget_exhausted"] is False
+    assert summary["within_budget"] == summary["unique_keys"]
+    assert cache_file.exists()
+
+    # A follow-up census against the warmed cache is answered from it.
+    assert (
+        main(["census", "--count", "20", "--cache", str(cache_file), "--json"]) == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["stats"]["batch"]["full_searches"] == 0
+
+
+def test_warm_subcommand_plain_output(tmp_path, capsys):
+    batch_file = tmp_path / "many.txt"
+    batch_file.write_text("1 : 2 2\n2 : 1 1\n---\n1 : 1 1\n")
+    assert main(["warm", str(batch_file), "--wait"]) == 0
+    out = capsys.readouterr().out
+    assert "warm: 2 problem(s)" in out and "waited for" in out
+
+
+def test_warm_subcommand_requires_workload(capsys):
+    assert main(["warm"]) == 2
+    assert "provide a batch source" in capsys.readouterr().err
+
+
+def test_serve_endpoint_folds_into_settings():
+    from repro.cli import _serve_settings
+
+    parser = build_parser()
+    args = _serve_settings(
+        parser.parse_args(["serve", "tcp://0.0.0.0:9111?cache=/tmp/x.json"])
+    )
+    assert args.host == "0.0.0.0" and args.port == 9111
+    assert args.cache == "/tmp/x.json"
+    args = _serve_settings(parser.parse_args(["serve", "stdio:"]))
+    assert args.stdio is True
+
+
+def test_serve_rejects_local_endpoint(capsys):
+    assert main(["serve", "local://inline"]) == 1
+    assert "tcp:// or stdio:" in capsys.readouterr().err
+
+
+def test_client_warm_budget_over_tcp(capsys):
+    from repro.service.server import ThreadedService
+
+    service = ThreadedService(backend="threads", workers=2)
+    host, port = service.start()
+    try:
+        connect = f"{host}:{port}"
+        assert (
+            main(
+                [
+                    "client",
+                    "--connect",
+                    connect,
+                    "warm",
+                    "--census",
+                    "--count",
+                    "15",
+                    "--budget",
+                    "30",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["waited"] is True
+        assert summary["within_budget"] == summary["unique_keys"]
+        assert main(["client", "--connect", connect, "shutdown"]) == 0
+        capsys.readouterr()
+    finally:
+        service.stop()
+
+
+def test_client_stats_reports_search_times(tmp_path, capsys):
+    from repro.service.server import ThreadedService
+
+    service = ThreadedService(backend="threads", workers=2)
+    host, port = service.start()
+    try:
+        connect = f"{host}:{port}"
+        problem_file = tmp_path / "problem.txt"
+        problem_file.write_text("1 : 2 2\n2 : 1 1\n")
+        assert main(["client", "--connect", connect, "classify", str(problem_file)]) == 0
+        capsys.readouterr()
+        assert main(["client", "--connect", connect, "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "searches: 1 completed" in out
+        assert main(["client", "--connect", connect, "shutdown"]) == 0
+        capsys.readouterr()
+    finally:
+        service.stop()

@@ -30,9 +30,8 @@ import time
 
 import pytest
 
+from problem_pools import distinct_forms
 from repro.core import SearchInterrupted, checkpoint
-from repro.engine import canonical_form
-from repro.problems.random_problems import random_problem
 from repro.workers import (
     BACKEND_NAMES,
     JOB_CACHE_HIT,
@@ -62,19 +61,9 @@ def _fuzz_task(payload):
     return key, {"complexity": f"fuzz:{key}"}
 
 
-def _forms(count, labels=3):
-    """A pool of canonical forms with pairwise-distinct keys."""
-    forms, seen, seed = [], set(), 0
-    while len(forms) < count:
-        form = canonical_form(random_problem(labels, density=0.3, seed=seed))
-        if form.key not in seen:
-            seen.add(form.key)
-            forms.append(form)
-        seed += 1
-    return forms
-
-
-_FORM_POOL = _forms(12)
+# The pool is shared with the session facade's endpoint parity tests
+# (tests/problem_pools.py), so both suites fuzz the same key distribution.
+_FORM_POOL = distinct_forms(12)
 
 
 # ----------------------------------------------------------------------
