@@ -11,6 +11,8 @@ Usage::
     python -m repro census --labels 2 --count 200       # random-problem sweep
     python -m repro census --count 200 --worker-backend processes --workers 4
     python -m repro warm --census --count 200 --cache results.json --budget 10
+    python -m repro loadgen local://threads --workload zipf --duration 10 --seed 7
+    python -m repro loadgen tcp://127.0.0.1:8765 --slo slo.json --connections 4
     python -m repro cache stats --cache results.json    # on-disk cache maintenance
     python -m repro cache compact --cache results.json --cache-max-entries 500
     python -m repro serve tcp://127.0.0.1:8765          # long-running service (TCP)
@@ -44,6 +46,12 @@ exit code 124 for single classifies) and ``--priority
 {interactive,batch,warm}``.  ``warm`` additionally accepts ``--budget
 SECONDS``, a wall-clock budget spread best-effort across the whole sweep.
 
+``loadgen`` replays a seeded synthetic workload (Zipf-skewed duplicate-heavy
+keys, Poisson/burst arrivals, mixed priorities — see :mod:`repro.loadgen`)
+against any endpoint and emits an SLO report (latency percentiles per
+priority class, throughput, dedup ratio); with ``--slo spec.json`` a
+violated objective exits nonzero, making latency guarantees CI-assertable.
+
 ``serve`` runs the long-running classification service of
 :mod:`repro.service` on a ``tcp://`` or ``stdio:`` endpoint (spec:
 ``docs/service_protocol.md``); ``client`` is its command-line counterpart,
@@ -74,6 +82,9 @@ from .core.parser import parse_problem
 from .core.problem import LCLError, LCLProblem
 from .engine.cache import ClassificationCache
 from .engine.serialization import problem_to_dict
+from .loadgen.driver import DEFAULT_MAX_IN_FLIGHT
+from .loadgen.driver import MODES as LOADGEN_MODES
+from .loadgen.workload import WORKLOADS
 from .problems.catalog import catalog
 from .service.server import ClassificationService
 from .workers.backends import BACKEND_NAMES
@@ -431,6 +442,65 @@ def _run_warm(args: argparse.Namespace) -> int:
         print(json.dumps(summary, indent=2))
         return 0
     _print_warm_summary(summary)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# loadgen (synthetic traffic + SLO verdict)
+# ----------------------------------------------------------------------
+SLO_EXIT_CODE = 3
+"""Exit status when a load run violated its ``--slo`` spec (the run itself
+succeeded — the *guarantee* failed)."""
+
+
+def _run_loadgen(args: argparse.Namespace) -> int:
+    from .loadgen import (
+        LoadDriver,
+        SLOSpec,
+        build_report,
+        build_workload,
+        summarize_report,
+    )
+
+    spec = build_workload(
+        args.workload,
+        seed=args.seed,
+        duration=args.duration,
+        rate=args.rate,
+        pool_size=args.pool_size,
+        zipf_s=args.zipf_s,
+        adversarial_rate=args.adversarial_rate,
+    )
+    slo = SLOSpec.from_file(args.slo) if args.slo else None
+    plan = spec.plan()
+    sessions = [
+        ClassificationSession.open(args.endpoint) for _ in range(args.connections)
+    ]
+    try:
+        driver = LoadDriver(
+            sessions,
+            mode=args.mode,
+            concurrency=args.concurrency,
+            max_in_flight=args.max_in_flight,
+        )
+        result = driver.run(plan)
+    finally:
+        for session in sessions:
+            session.close()
+    report = build_report(args.endpoint, spec, plan, result, slo)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(summarize_report(report))
+    verdict = report.get("slo")
+    if verdict is not None and not verdict["passed"]:
+        for violation in verdict["violations"]:
+            print(f"slo violation: {violation}", file=sys.stderr)
+        return SLO_EXIT_CODE
     return 0
 
 
@@ -887,6 +957,111 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scheduling_flags(warm_parser)
     _add_cache_flags(warm_parser)
     warm_parser.set_defaults(handler=_run_warm)
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen",
+        help="drive synthetic traffic at an endpoint and assert SLOs",
+    )
+    loadgen_parser.add_argument(
+        "endpoint",
+        help=(
+            "session endpoint to load (local://inline|threads|processes, "
+            "tcp://HOST:PORT, stdio:)"
+        ),
+    )
+    loadgen_parser.add_argument(
+        "--workload",
+        choices=sorted(WORKLOADS),
+        default="zipf",
+        help="traffic model (default: zipf — skewed keys, Poisson arrivals)",
+    )
+    loadgen_parser.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="seconds of traffic the stream covers (default: 10)",
+    )
+    loadgen_parser.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default: 0)"
+    )
+    loadgen_parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="arrival rate in requests/second (default: the workload's own)",
+    )
+    loadgen_parser.add_argument(
+        "--pool-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="distinct canonical keys in the problem pool (default: the workload's own)",
+    )
+    loadgen_parser.add_argument(
+        "--zipf-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="Zipf skew exponent over the pool, 0 = uniform (default: the workload's own)",
+    )
+    loadgen_parser.add_argument(
+        "--adversarial-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="probability a request carries the adversarial poison-pill problem",
+    )
+    loadgen_parser.add_argument(
+        "--mode",
+        choices=LOADGEN_MODES,
+        default="open",
+        help=(
+            "open: issue at planned arrival offsets (latency includes queueing); "
+            "closed: --concurrency workers issue as fast as completions allow"
+        ),
+    )
+    loadgen_parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        metavar="N",
+        help="closed-loop worker count (default: 8)",
+    )
+    loadgen_parser.add_argument(
+        "--connections",
+        type=int,
+        default=1,
+        metavar="N",
+        help="sessions to spread requests across, round-robin (default: 1)",
+    )
+    loadgen_parser.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=DEFAULT_MAX_IN_FLIGHT,
+        metavar="N",
+        help="open-loop backpressure cap on outstanding requests (default: 256)",
+    )
+    loadgen_parser.add_argument(
+        "--slo",
+        default=None,
+        metavar="FILE",
+        help=(
+            "JSON SLO spec to assert (e.g. p99_interactive_ms, max_timeout_rate); "
+            f"violations exit {SLO_EXIT_CODE}"
+        ),
+    )
+    loadgen_parser.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="also write the JSON report to FILE (the BENCH_loadgen.json format)",
+    )
+    loadgen_parser.add_argument(
+        "--json", action="store_true", help="print the full JSON report to stdout"
+    )
+    loadgen_parser.set_defaults(handler=_run_loadgen)
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect and maintain an on-disk classification cache"

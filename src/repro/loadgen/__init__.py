@@ -1,0 +1,54 @@
+"""Load generation and SLO verification for classification sessions.
+
+This package turns "serves heavy traffic" from a slogan into a measured,
+asserted property.  It has three layers, used in order:
+
+1. :mod:`~repro.loadgen.workload` — seeded traffic models
+   (:class:`WorkloadSpec`): Zipf-skewed duplicate-heavy key draws from the
+   shared problem pools, Poisson/uniform/burst arrival processes, mixed
+   interactive/batch/warm priorities with per-class deadlines, and
+   adversarial poison-pill injection.  ``plan()`` expands a spec into a
+   deterministic request stream whose SHA-256 digest names the traffic.
+2. :mod:`~repro.loadgen.driver` — :class:`LoadDriver` replays a stream
+   against one or more open :class:`~repro.api.ClassificationSession`
+   objects (any endpoint: ``local://inline|threads|processes``, ``tcp://``),
+   open- or closed-loop, recording per-request latency, outcome, and
+   cache-hit attribution.
+3. :mod:`~repro.loadgen.report` / :mod:`~repro.loadgen.slo` — the run folds
+   into one ``repro.loadgen/1`` JSON report (percentiles per priority
+   class, throughput, dedup ratio, deadline-miss rate, stats snapshots);
+   an :class:`SLOSpec` scores it and returns violations, which the CLI
+   turns into a nonzero exit.
+
+The CLI front end is ``python -m repro loadgen <endpoint> --workload zipf
+--duration 10 --seed 7 [--slo spec.json]``; the committed
+``BENCH_loadgen.json`` is one of these reports.  See ``docs/loadgen.md``.
+"""
+
+from .driver import LoadDriver, RequestRecord, RunResult
+from .report import SCHEMA, build_report, summarize_report
+from .slo import SLOSpec
+from .workload import (
+    ARRIVALS,
+    WORKLOADS,
+    Request,
+    WorkloadSpec,
+    build_workload,
+    stream_digest,
+)
+
+__all__ = [
+    "ARRIVALS",
+    "LoadDriver",
+    "Request",
+    "RequestRecord",
+    "RunResult",
+    "SCHEMA",
+    "SLOSpec",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "build_report",
+    "build_workload",
+    "stream_digest",
+    "summarize_report",
+]

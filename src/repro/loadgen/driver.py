@@ -1,0 +1,261 @@
+"""The load driver: replay a request stream against live sessions.
+
+:class:`LoadDriver` takes the planned stream of a
+:class:`~repro.loadgen.workload.WorkloadSpec` and drives it through one or
+more open :class:`~repro.api.ClassificationSession` objects, holding many
+in-flight :meth:`~repro.api.ClassificationSession.submit` requests
+concurrently and recording, per request, what the session reported: latency,
+terminal outcome (``ok``/``timeout``/``cancelled``/``error``), and cache-hit
+attribution.  Two loop disciplines:
+
+**Open loop** (default) — requests are issued at their planned arrival
+offsets regardless of completions, like real clients who do not wait for
+each other.  Latency then includes any queueing the engine builds up, which
+is the number an SLO is actually about.  A ``max_in_flight`` gate bounds the
+waiter threads: when the engine falls that far behind, the dispatcher
+stalls (and reports how often) rather than growing without bound.
+
+**Closed loop** — ``concurrency`` workers each issue the next request as
+soon as their previous one resolves.  Arrival offsets are ignored (only
+stream order is kept); throughput is then engine-bound, which makes this
+the mode for "how fast can it go" measurements.
+
+Requests are spread round-robin across the given sessions (``--connections``
+in the CLI): a single ``tcp://`` session serializes frames on one
+connection, so driving a service hard requires several.  The driver never
+interprets results — it only records; scoring belongs to
+:mod:`repro.loadgen.report` and :mod:`repro.loadgen.slo`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..api.errors import SessionError
+from ..api.session import ClassificationSession
+from .workload import Request
+
+MODES = ("open", "closed")
+"""Loop disciplines: ``open`` (paced arrivals) and ``closed`` (concurrency)."""
+
+DEFAULT_MAX_IN_FLIGHT = 256
+"""Open-loop backpressure gate: the most submissions outstanding at once."""
+
+
+@dataclass
+class RequestRecord:
+    """What actually happened to one planned request."""
+
+    index: int
+    key: str
+    priority: str
+    deadline: Optional[float]
+    offset: float
+    adversarial: bool
+    session_index: int = 0
+    started_at: float = 0.0  # seconds from run start, when submit() was called
+    latency_ms: float = 0.0
+    outcome: str = "error"
+    from_cache: bool = False
+    error_code: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "key": self.key,
+            "priority": self.priority,
+            "deadline": self.deadline,
+            "offset": self.offset,
+            "adversarial": self.adversarial,
+            "session_index": self.session_index,
+            "started_at": self.started_at,
+            "latency_ms": self.latency_ms,
+            "outcome": self.outcome,
+            "from_cache": self.from_cache,
+            "error_code": self.error_code,
+        }
+
+
+@dataclass
+class RunResult:
+    """Everything a run produced: records, wall clock, and stats snapshots."""
+
+    records: List[RequestRecord]
+    wall_seconds: float
+    mode: str
+    concurrency: int
+    sessions: int
+    backpressure_stalls: int
+    stats: List[Dict[str, Any]]
+
+
+class LoadDriver:
+    """Replays a planned request stream against open sessions.
+
+    Parameters
+    ----------
+    sessions:
+        Open sessions to spread requests across (round-robin by request
+        index).  The driver does not own them — callers close them.
+    mode:
+        ``"open"`` (paced to arrival offsets) or ``"closed"``
+        (``concurrency``-bounded, as fast as completions allow).
+    concurrency:
+        Closed-loop worker count.
+    max_in_flight:
+        Open-loop cap on outstanding submissions (backpressure gate).
+    """
+
+    def __init__(
+        self,
+        sessions: Sequence[ClassificationSession],
+        mode: str = "open",
+        concurrency: int = 8,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+    ) -> None:
+        if not sessions:
+            raise ValueError("the driver needs at least one open session")
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r} (known: {', '.join(MODES)})")
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        self.sessions = list(sessions)
+        self.mode = mode
+        self.concurrency = concurrency
+        self.max_in_flight = max_in_flight
+        self._stalls = 0
+
+    # ------------------------------------------------------------------
+    # One request, measured
+    # ------------------------------------------------------------------
+    def _execute(
+        self, request: Request, record: RequestRecord, run_start: float
+    ) -> None:
+        session = self.sessions[request.index % len(self.sessions)]
+        record.session_index = request.index % len(self.sessions)
+        started = time.perf_counter()
+        record.started_at = started - run_start
+        try:
+            outcome = session.submit(
+                request.problem,
+                priority=request.priority,
+                deadline=request.deadline,
+            ).result()
+            record.outcome = outcome.outcome
+            record.from_cache = outcome.from_cache
+            record.error_code = outcome.error_code
+        except SessionError as error:
+            record.outcome = "error"
+            record.error_code = error.code
+        record.latency_ms = (time.perf_counter() - started) * 1000.0
+
+    # ------------------------------------------------------------------
+    # Loop disciplines
+    # ------------------------------------------------------------------
+    def _run_closed(self, plan: Sequence[Request], run_start: float) -> List[RequestRecord]:
+        records = [self._record_for(request) for request in plan]
+        cursor = {"next": 0}
+        lock = threading.Lock()
+
+        def worker() -> None:
+            while True:
+                with lock:
+                    position = cursor["next"]
+                    if position >= len(plan):
+                        return
+                    cursor["next"] = position + 1
+                self._execute(plan[position], records[position], run_start)
+
+        threads = [
+            threading.Thread(target=worker, daemon=True, name=f"repro-loadgen-{i}")
+            for i in range(min(self.concurrency, len(plan)))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return records
+
+    def _run_open(self, plan: Sequence[Request], run_start: float) -> List[RequestRecord]:
+        records = [self._record_for(request) for request in plan]
+        gate = threading.Semaphore(self.max_in_flight)
+        waiters: List[threading.Thread] = []
+
+        def waiter(request: Request, record: RequestRecord) -> None:
+            try:
+                self._execute(request, record, run_start)
+            finally:
+                gate.release()
+
+        for request, record in zip(plan, records):
+            now = time.perf_counter() - run_start
+            if request.offset > now:
+                time.sleep(request.offset - now)
+            if not gate.acquire(blocking=False):
+                # The engine is max_in_flight behind the arrival process:
+                # stall the dispatcher (recorded) instead of growing forever.
+                self._stalls += 1
+                gate.acquire()
+            thread = threading.Thread(
+                target=waiter,
+                args=(request, record),
+                daemon=True,
+                name=f"repro-loadgen-wait-{request.index}",
+            )
+            waiters.append(thread)
+            thread.start()
+        for thread in waiters:
+            thread.join()
+        return records
+
+    def _record_for(self, request: Request) -> RequestRecord:
+        return RequestRecord(
+            index=request.index,
+            key=request.key,
+            priority=request.priority,
+            deadline=request.deadline,
+            offset=request.offset,
+            adversarial=request.adversarial,
+        )
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self, plan: Sequence[Request]) -> RunResult:
+        """Replay ``plan`` to completion; return records and stats snapshots."""
+        self._stalls = 0
+        run_start = time.perf_counter()
+        if self.mode == "closed":
+            records = self._run_closed(plan, run_start)
+        else:
+            records = self._run_open(plan, run_start)
+        wall = time.perf_counter() - run_start
+        stats: List[Dict[str, Any]] = []
+        for session in self.sessions:
+            try:
+                stats.append(session.stats())
+            except SessionError:  # pragma: no cover - stats are best-effort
+                stats.append({})
+        return RunResult(
+            records=records,
+            wall_seconds=wall,
+            mode=self.mode,
+            concurrency=self.concurrency,
+            sessions=len(self.sessions),
+            backpressure_stalls=self._stalls,
+            stats=stats,
+        )
+
+
+__all__ = [
+    "DEFAULT_MAX_IN_FLIGHT",
+    "LoadDriver",
+    "MODES",
+    "RequestRecord",
+    "RunResult",
+]

@@ -1,0 +1,162 @@
+"""Declarative SLO specs: latency-percentile guarantees as data.
+
+An :class:`SLOSpec` is a flat JSON object mapping objective names to
+thresholds.  :meth:`evaluate` scores a finished loadgen report against it
+and returns the list of violations (empty = the run met its SLOs), which is
+what turns a load run from an eyeballed chart into a pass/fail gate — the
+CLI exits nonzero on any violation, so CI can assert latency guarantees the
+same way it asserts unit tests.
+
+Objective names, all optional:
+
+``p50_ms`` / ``p90_ms`` / ``p99_ms``
+    Latency ceilings (milliseconds) over **all** requests.
+``p50_<class>_ms`` / ``p90_<class>_ms`` / ``p99_<class>_ms``
+    The same ceilings per priority class (``interactive``/``batch``/
+    ``warm``), e.g. ``p99_interactive_ms`` — the spec's flagship objective.
+    A class objective with no requests of that class in the stream is a
+    violation (the spec promised a guarantee the run never measured).
+``max_timeout_rate`` / ``max_cancelled_rate`` / ``max_error_rate``
+    Outcome-share ceilings in ``[0, 1]`` over all requests.
+``max_deadline_miss_rate``
+    Ceiling on the share of deadline-carrying requests that timed out.
+``min_throughput_rps``
+    Floor on completed requests per wall-clock second.
+``min_cache_hit_rate``
+    Floor on the cache-hit share of ``ok`` requests.
+``min_dedup_ratio``
+    Floor on the duplicate share of the stream that the engine could
+    amortize (``1 - unique_keys/requests``) — a property of the *workload*,
+    asserted so a benchmark cannot silently drift to an easier stream.
+
+Unknown names raise :class:`ValueError` — a typo'd objective must never
+silently pass, exactly like the endpoint parser treats query parameters.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..workers.scheduler import PRIORITIES
+
+_PERCENTILE_RE = re.compile(
+    r"^p(?P<q>50|90|99)(?:_(?P<cls>[a-z]+))?_ms$"
+)
+
+_RATE_KEYS = (
+    "max_timeout_rate",
+    "max_cancelled_rate",
+    "max_error_rate",
+    "max_deadline_miss_rate",
+    "min_cache_hit_rate",
+    "min_dedup_ratio",
+)
+_FLOOR_KEYS = ("min_throughput_rps",)
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """A validated SLO spec: percentile ceilings, rate bounds, floors."""
+
+    objectives: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, value in self.objectives.items():
+            match = _PERCENTILE_RE.match(name)
+            if match:
+                cls = match.group("cls")
+                if cls is not None and cls != "all" and cls not in PRIORITIES:
+                    raise ValueError(
+                        f"unknown priority class in SLO objective {name!r} "
+                        f"(known: all, {', '.join(PRIORITIES)})"
+                    )
+            elif name not in _RATE_KEYS + _FLOOR_KEYS:
+                raise ValueError(
+                    f"unknown SLO objective {name!r} (known: pNN[_class]_ms, "
+                    f"{', '.join(_RATE_KEYS + _FLOOR_KEYS)})"
+                )
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"SLO objective {name!r} must be a number")
+            if value < 0:
+                raise ValueError(f"SLO objective {name!r} must be >= 0")
+            if name in _RATE_KEYS and value > 1:
+                raise ValueError(f"SLO objective {name!r} is a rate in [0, 1]")
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SLOSpec":
+        if not isinstance(payload, Mapping):
+            raise ValueError("an SLO spec must be a JSON object")
+        return cls(objectives=dict(payload))
+
+    @classmethod
+    def from_file(cls, path: str) -> "SLOSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"bad SLO spec {path!r}: {error}") from error
+        return cls.from_dict(payload)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.objectives)
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def evaluate(self, report: Mapping[str, Any]) -> List[str]:
+        """Score a loadgen report; return human-readable violations.
+
+        ``report`` is the JSON document :func:`repro.loadgen.report.build_report`
+        emits (see ``docs/loadgen.md`` for the schema).
+        """
+        violations: List[str] = []
+        for name, threshold in self.objectives.items():
+            observed, ceiling = self._observe(name, report)
+            if observed is None:
+                violations.append(
+                    f"{name} <= {threshold:g}: no observations in this run"
+                )
+            elif ceiling and observed > threshold:
+                violations.append(f"{name}: {observed:g} > {threshold:g}")
+            elif not ceiling and observed < threshold:
+                violations.append(f"{name}: {observed:g} < {threshold:g}")
+        return violations
+
+    def _observe(
+        self, name: str, report: Mapping[str, Any]
+    ) -> "tuple[Optional[float], bool]":
+        """The report value an objective scores, and whether it is a ceiling."""
+        match = _PERCENTILE_RE.match(name)
+        if match:
+            cls = match.group("cls") or "all"
+            section = report.get("latency_ms", {}).get(cls)
+            if not section or not section.get("count"):
+                return None, True
+            return section.get(f"p{match.group('q')}"), True
+        if name == "max_timeout_rate":
+            return report["outcomes"]["timeout_rate"], True
+        if name == "max_cancelled_rate":
+            return report["outcomes"]["cancelled_rate"], True
+        if name == "max_error_rate":
+            return report["outcomes"]["error_rate"], True
+        if name == "max_deadline_miss_rate":
+            deadlines = report.get("deadlines", {})
+            if not deadlines.get("with_deadline"):
+                return None, True
+            return deadlines["miss_rate"], True
+        if name == "min_throughput_rps":
+            return report["run"]["throughput_rps"], False
+        if name == "min_cache_hit_rate":
+            cache = report.get("cache", {})
+            if not cache.get("ok_requests"):
+                return None, False
+            return cache["hit_rate"], False
+        if name == "min_dedup_ratio":
+            return report["dedup"]["dedup_ratio"], False
+        raise AssertionError(f"unvalidated SLO objective {name!r}")  # pragma: no cover
+
+
+__all__ = ["SLOSpec"]

@@ -1,0 +1,338 @@
+"""Workload models: seeded, reproducible synthetic traffic.
+
+A :class:`WorkloadSpec` describes *traffic*, not execution: which problems
+arrive, when, at what priority, and under which deadline.  :meth:`plan`
+expands the spec into a concrete list of :class:`Request` objects — the
+**request stream** — using nothing but the spec's seed, so two plans of the
+same spec are identical on any machine, any day.  The driver then replays
+the stream against a session; the report pins the stream's identity with a
+SHA-256 digest so a committed benchmark names exactly the traffic it
+measured.
+
+The model has three independent axes:
+
+**Keys.**  Problems are drawn from a pool of ``pool_size`` problems with
+pairwise-distinct canonical keys (:func:`repro.problems.pools.distinct_forms`
+— the same pools the fuzz and parity suites use).  Ranks are sampled from a
+Zipf distribution with exponent ``zipf_s`` (``0`` = uniform): real traffic
+is duplicate-heavy, and skew is precisely what exercises the single-flight
+scheduler's dedup and the cache.  With probability ``adversarial_rate`` a
+request instead carries :func:`repro.problems.adversarial.hard_problem`
+(``adversarial_pairs`` decoy pairs) under ``adversarial_deadline`` — the
+exponential-search poison pill that drives timeout/cancellation paths.
+
+**Arrivals.**  ``arrival`` is ``"poisson"`` (exponential inter-arrival gaps
+at ``rate`` req/s — open-system traffic), ``"uniform"`` (a fixed
+``1/rate`` cadence), or ``"burst"`` (the whole rate budget delivered as
+back-to-back bursts of ``burst_size`` every ``burst_size/rate`` seconds —
+the worst case for admission control).  Arrivals cover ``duration`` seconds
+of traffic; the plan always contains at least one request.
+
+**Classes.**  Each request draws a priority from ``mix`` (weights over
+``interactive``/``batch``/``warm``) and inherits that class's deadline from
+``deadlines`` (``None`` = no budget), mirroring how a gateway would map
+client tiers onto the scheduler's priority heap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from bisect import bisect_left
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..core.problem import LCLProblem
+from ..problems.adversarial import hard_problem
+from ..problems.pools import distinct_forms
+from ..workers.scheduler import PRIORITIES
+
+ARRIVALS = ("poisson", "uniform", "burst")
+"""Supported arrival processes."""
+
+DEFAULT_MIX: Mapping[str, float] = {"interactive": 0.5, "batch": 0.3, "warm": 0.2}
+"""Default priority mix: interactive-heavy, like a serving front door."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One planned arrival of the request stream.
+
+    ``offset`` is the scheduled arrival time in seconds from stream start
+    (the open-loop driver paces to it; the closed-loop driver only keeps its
+    order).  ``key`` is the canonical key of the submitted problem — the
+    stream's identity and the unit of dedup attribution.
+    """
+
+    index: int
+    offset: float
+    problem: LCLProblem
+    key: str
+    priority: str
+    deadline: Optional[float]
+    adversarial: bool = False
+
+    def stream_line(self) -> str:
+        """The digest line of this request (everything reproducible)."""
+        deadline = "-" if self.deadline is None else f"{self.deadline:.6f}"
+        return f"{self.index}|{self.key}|{self.priority}|{deadline}"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named, seeded traffic model (see the module docstring)."""
+
+    name: str = "zipf"
+    seed: int = 0
+    duration: float = 10.0
+    rate: float = 40.0
+    pool_size: int = 25
+    pool_labels: int = 3
+    pool_density: float = 0.3
+    zipf_s: float = 1.1
+    arrival: str = "poisson"
+    burst_size: int = 20
+    mix: Mapping[str, float] = field(default_factory=lambda: dict(DEFAULT_MIX))
+    deadlines: Mapping[str, Optional[float]] = field(default_factory=dict)
+    adversarial_rate: float = 0.0
+    adversarial_pairs: int = 4
+    adversarial_deadline: Optional[float] = 0.25
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive seconds")
+        if self.rate <= 0:
+            raise ValueError("rate must be positive requests/second")
+        if self.pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        if self.zipf_s < 0:
+            raise ValueError("zipf_s must be >= 0")
+        if self.arrival not in ARRIVALS:
+            raise ValueError(
+                f"unknown arrival process {self.arrival!r} "
+                f"(known: {', '.join(ARRIVALS)})"
+            )
+        if self.burst_size < 1:
+            raise ValueError("burst_size must be >= 1")
+        if not 0.0 <= self.adversarial_rate <= 1.0:
+            raise ValueError("adversarial_rate must be in [0, 1]")
+        if not self.mix:
+            raise ValueError("mix must weight at least one priority class")
+        for priority, weight in self.mix.items():
+            if priority not in PRIORITIES:
+                raise ValueError(
+                    f"unknown priority {priority!r} in mix "
+                    f"(known: {', '.join(PRIORITIES)})"
+                )
+            if weight < 0:
+                raise ValueError(f"mix weight for {priority!r} must be >= 0")
+        if sum(self.mix.values()) <= 0:
+            raise ValueError("mix weights must sum to a positive number")
+        for priority in self.deadlines:
+            if priority not in PRIORITIES:
+                raise ValueError(
+                    f"unknown priority {priority!r} in deadlines "
+                    f"(known: {', '.join(PRIORITIES)})"
+                )
+
+    # ------------------------------------------------------------------
+    # Plan expansion (pure function of the spec)
+    # ------------------------------------------------------------------
+    def pool(self) -> List[Tuple[str, LCLProblem]]:
+        """The ``(canonical key, problem)`` pool, rank 0 most popular."""
+        forms = distinct_forms(
+            self.pool_size,
+            labels=self.pool_labels,
+            density=self.pool_density,
+            name_prefix="pool-",
+        )
+        return [(form.key, form.problem) for form in forms]
+
+    def _arrival_offsets(self, rng: random.Random) -> List[float]:
+        offsets: List[float] = []
+        if self.arrival == "poisson":
+            clock = rng.expovariate(self.rate)
+            while clock <= self.duration:
+                offsets.append(clock)
+                clock += rng.expovariate(self.rate)
+        elif self.arrival == "uniform":
+            gap = 1.0 / self.rate
+            clock = gap
+            while clock <= self.duration:
+                offsets.append(clock)
+                clock += gap
+        else:  # burst
+            interval = self.burst_size / self.rate
+            start = 0.0
+            while start <= self.duration:
+                offsets.extend(start for _ in range(self.burst_size))
+                start += interval
+        if not offsets:
+            offsets.append(min(self.duration, 1.0 / self.rate))
+        return offsets
+
+    def _zipf_cdf(self) -> List[float]:
+        weights = [1.0 / (rank + 1) ** self.zipf_s for rank in range(self.pool_size)]
+        total = sum(weights)
+        cumulative, acc = [], 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0
+        return cumulative
+
+    def _priority_cdf(self) -> List[Tuple[float, str]]:
+        total = sum(self.mix.values())
+        cumulative, acc = [], 0.0
+        for priority in PRIORITIES:  # fixed order: dict order must not matter
+            weight = self.mix.get(priority, 0.0)
+            if weight <= 0:
+                continue
+            acc += weight / total
+            cumulative.append((acc, priority))
+        cumulative[-1] = (1.0, cumulative[-1][1])
+        return cumulative
+
+    def plan(self) -> List[Request]:
+        """Expand the spec into its deterministic request stream."""
+        rng = random.Random(self.seed)
+        pool = self.pool()
+        zipf_cdf = self._zipf_cdf()
+        priority_cdf = self._priority_cdf()
+        hard: Optional[Tuple[str, LCLProblem]] = None
+        requests: List[Request] = []
+        for index, offset in enumerate(self._arrival_offsets(rng)):
+            adversarial = (
+                self.adversarial_rate > 0 and rng.random() < self.adversarial_rate
+            )
+            if adversarial:
+                if hard is None:
+                    problem = hard_problem(self.adversarial_pairs)
+                    hard = (f"adversarial:{problem.name}", problem)
+                key, problem = hard
+                priority = "interactive"
+                deadline = self.adversarial_deadline
+            else:
+                rank = bisect_left(zipf_cdf, rng.random())
+                key, problem = pool[min(rank, len(pool) - 1)]
+                roll = rng.random()
+                priority = next(p for bound, p in priority_cdf if roll <= bound)
+                deadline = self.deadlines.get(priority)
+            requests.append(
+                Request(
+                    index=index,
+                    offset=offset,
+                    problem=problem,
+                    key=key,
+                    priority=priority,
+                    deadline=deadline,
+                    adversarial=adversarial,
+                )
+            )
+        return requests
+
+    # ------------------------------------------------------------------
+    # Identity and serialization
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, Any]:
+        """The spec as a JSON-friendly echo (the report's ``workload`` section)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "duration": self.duration,
+            "rate": self.rate,
+            "pool_size": self.pool_size,
+            "pool_labels": self.pool_labels,
+            "pool_density": self.pool_density,
+            "zipf_s": self.zipf_s,
+            "arrival": self.arrival,
+            "burst_size": self.burst_size,
+            "mix": dict(self.mix),
+            "deadlines": dict(self.deadlines),
+            "adversarial_rate": self.adversarial_rate,
+            "adversarial_pairs": self.adversarial_pairs,
+            "adversarial_deadline": self.adversarial_deadline,
+        }
+
+
+def stream_digest(plan: List[Request]) -> str:
+    """SHA-256 over the stream's reproducible identity (keys, order, classes).
+
+    Two runs of the same spec produce the same digest on any machine; the
+    reproducibility tests and the committed ``BENCH_loadgen.json`` both pin
+    this value.
+    """
+    hasher = hashlib.sha256()
+    for request in plan:
+        hasher.update(request.stream_line().encode())
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Named workload registry (the CLI's --workload choices)
+# ----------------------------------------------------------------------
+def _zipf(seed: int, duration: float) -> WorkloadSpec:
+    return WorkloadSpec(name="zipf", seed=seed, duration=duration)
+
+
+def _uniform(seed: int, duration: float) -> WorkloadSpec:
+    return WorkloadSpec(
+        name="uniform", seed=seed, duration=duration, zipf_s=0.0, arrival="uniform"
+    )
+
+
+def _burst(seed: int, duration: float) -> WorkloadSpec:
+    return WorkloadSpec(name="burst", seed=seed, duration=duration, arrival="burst")
+
+
+def _adversarial(seed: int, duration: float) -> WorkloadSpec:
+    return WorkloadSpec(
+        name="adversarial",
+        seed=seed,
+        duration=duration,
+        adversarial_rate=0.04,
+        deadlines={"interactive": 5.0},
+    )
+
+
+WORKLOADS = {
+    "zipf": _zipf,
+    "uniform": _uniform,
+    "burst": _burst,
+    "adversarial": _adversarial,
+}
+"""Named traffic models: ``zipf`` (skewed keys, Poisson arrivals — the
+default), ``uniform`` (no skew, fixed cadence — the dedup lower bound),
+``burst`` (back-to-back arrival bursts — admission-control stress), and
+``adversarial`` (zipf plus deadline-bounded poison-pill searches)."""
+
+
+def build_workload(
+    name: str, seed: int, duration: float, **overrides: Any
+) -> WorkloadSpec:
+    """Instantiate a named workload, then apply field overrides.
+
+    Overrides with value ``None`` are ignored, so CLI flags that were not
+    passed fall through to the model's own defaults.
+    """
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r} (known: {', '.join(sorted(WORKLOADS))})"
+        ) from None
+    spec = factory(seed, duration)
+    cleaned = {key: value for key, value in overrides.items() if value is not None}
+    return replace(spec, **cleaned) if cleaned else spec
+
+
+__all__ = [
+    "ARRIVALS",
+    "DEFAULT_MIX",
+    "Request",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "build_workload",
+    "stream_digest",
+]

@@ -1,6 +1,7 @@
 """Problem catalog and random problem generators."""
 
 from .adversarial import hard_problem
+from .pools import distinct_forms, seeded_problems
 from .catalog import (
     branch_two_coloring,
     catalog,
@@ -36,9 +37,11 @@ __all__ = [
     "maximal_independent_set",
     "num_possible_configurations",
     "pi_k",
+    "distinct_forms",
     "random_problem",
     "random_problem_stream",
     "sample_problems",
+    "seeded_problems",
     "three_coloring",
     "trivial_problem",
     "two_coloring",

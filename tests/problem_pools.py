@@ -1,40 +1,15 @@
-"""Seeded problem pools shared by the fuzz harness and the facade tests.
+"""Seeded problem pools shared by the fuzz, parity, and loadgen suites.
 
-One generator, two consumers: the scheduler fuzz harness
-(``test_scheduler_fuzz.py``) interleaves operations over these pools, and
-the session parity tests (``test_api.py``) classify the same pools through
-every endpoint kind.  Keeping the generation here guarantees both suites
-exercise the same distribution of canonical keys.
+The generation itself lives in :mod:`repro.problems.pools` so the
+load-generation harness (``src/repro/loadgen``) can draw from the very same
+pools the test suites exercise; this module re-exports it under the name
+the tests have always imported.  One generator, many consumers: the
+scheduler fuzz harness (``test_scheduler_fuzz.py``) interleaves operations
+over these pools, the session parity tests (``test_api.py``) classify the
+same pools through every endpoint kind, and the loadgen differential tests
+(``test_loadgen_parity.py``) replay seeded workload streams built on them.
 """
 
-from repro.engine import canonical_form
-from repro.problems.random_problems import random_problem
+from repro.problems.pools import distinct_forms, seeded_problems
 
-
-def distinct_forms(count, labels=3, density=0.3):
-    """``count`` canonical forms with pairwise-distinct keys (deterministic).
-
-    Seeds are consumed in order starting at 0, skipping draws whose orbit
-    was already produced, so the pool is stable across runs and machines.
-    """
-    forms, seen, seed = [], set(), 0
-    while len(forms) < count:
-        form = canonical_form(random_problem(labels, density=density, seed=seed))
-        if form.key not in seen:
-            seen.add(form.key)
-            forms.append(form)
-        seed += 1
-    return forms
-
-
-def seeded_problems(count, labels=2, density=0.5, seed=0):
-    """A plain seeded problem list (duplicates allowed), census-style draws.
-
-    Matches the ``seed + index`` scheme of the census generators, so a pool
-    built here equals the problems a census with the same parameters
-    classifies.
-    """
-    return [
-        random_problem(labels, density=density, seed=seed + index)
-        for index in range(count)
-    ]
+__all__ = ["distinct_forms", "seeded_problems"]

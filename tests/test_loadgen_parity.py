@@ -1,0 +1,188 @@
+"""Differential endpoint-parity fuzz tests driven by loadgen workloads.
+
+The API contract says a ``ClassificationSession`` behaves identically no
+matter what sits behind the URL.  :mod:`tests.test_api` spot-checks that on
+small fixed batches; this suite turns it into a *differential fuzz pass*:
+the same seeded loadgen request stream is replayed through
+``local://inline``, ``local://threads``, and ``tcp://`` (a real socket
+against a :class:`~repro.service.server.ThreadedService`), and every
+resulting :class:`~repro.api.Outcome` must match field by field.  A second
+pass fuzzes the *error* surface the same way — seeded corruptions of valid
+problem notation and invalid request parameters must raise the same
+exception type, machine code, and message on every endpoint.
+
+These run in the default lane (seconds, not minutes): streams are short,
+pools are small, and every problem classifies in milliseconds.
+"""
+
+import random
+
+import pytest
+
+from repro.api import SessionError, connect
+from repro.core import format_problem
+from repro.loadgen import WorkloadSpec
+from repro.service.server import ThreadedService
+
+PARITY_SEEDS = (11, 23, 37)
+"""The seeded streams every endpoint must agree on (>= 3 per the issue)."""
+
+
+def _spec(seed):
+    """A short duplicate-heavy zipf stream: ~30 requests over 10 orbits.
+
+    No deadlines and no adversarial injection — every outcome must then be
+    deterministic (``ok`` with a decided class), so endpoints can be compared
+    exactly instead of modulo timing.
+    """
+    return WorkloadSpec(
+        name="zipf", seed=seed, duration=1.5, rate=20, pool_size=10, zipf_s=1.2
+    )
+
+
+def _parity_fields(outcome):
+    """The Outcome fields that must be identical on every endpoint.
+
+    Same convention as tests/test_api.py: ``from_cache`` and ``elapsed_ms``
+    legitimately differ (separate caches, separate clocks); everything else
+    must match exactly.
+    """
+    payload = outcome.as_dict()
+    return {
+        key: payload[key]
+        for key in ("name", "outcome", "complexity", "details", "canonical_key", "result")
+    }
+
+
+def _drive(session, plan):
+    """Replay a plan the way the load driver does: submit all, then collect."""
+    pendings = [
+        session.submit(request.problem, priority=request.priority)
+        for request in plan
+    ]
+    return [_parity_fields(pending.result(timeout=60)) for pending in pendings]
+
+
+# ----------------------------------------------------------------------
+# Outcome parity
+# ----------------------------------------------------------------------
+class TestOutcomeParity:
+    @pytest.mark.parametrize("seed", PARITY_SEEDS)
+    def test_same_stream_same_outcomes_on_every_endpoint(self, seed):
+        plan = _spec(seed).plan()
+        assert len(plan) > len({request.key for request in plan})  # duplicates
+
+        with connect("local://inline") as session:
+            inline = _drive(session, plan)
+        with connect("local://threads?workers=2") as session:
+            threads = _drive(session, plan)
+        with ThreadedService(backend="threads", workers=2) as (host, port):
+            with connect(f"tcp://{host}:{port}") as session:
+                remote = _drive(session, plan)
+
+        assert len(inline) == len(threads) == len(remote) == len(plan)
+        for index, (a, b, c) in enumerate(zip(inline, threads, remote)):
+            assert a == b, f"inline vs threads diverged at request {index}"
+            assert a == c, f"inline vs tcp diverged at request {index}"
+        # Sanity: the stream really was decided everywhere, not all-timeout.
+        assert all(fields["outcome"] == "ok" for fields in inline)
+
+    def test_duplicates_resolve_to_identical_outcomes_within_a_stream(self):
+        """Within one endpoint's run, same key => same classification."""
+        plan = _spec(PARITY_SEEDS[0]).plan()
+        with connect("local://threads?workers=2") as session:
+            outcomes = _drive(session, plan)
+        by_key = {}
+        for request, fields in zip(plan, outcomes):
+            comparable = {k: v for k, v in fields.items() if k != "name"}
+            if request.key in by_key:
+                assert by_key[request.key] == comparable, request.key
+            else:
+                by_key[request.key] = comparable
+
+
+# ----------------------------------------------------------------------
+# Error parity
+# ----------------------------------------------------------------------
+def _corrupt(notation, rng):
+    """One seeded corruption of valid problem notation (never a valid form)."""
+    mutation = rng.randrange(5)
+    if mutation == 0:
+        # Drop the last child of the first configuration: arity mismatch
+        # (the parser accepts ":"-less lines, so token count is the lever).
+        lines = notation.splitlines()
+        lines[0] = lines[0].rsplit(" ", 1)[0]
+        return "\n".join(lines)
+    if mutation == 1:
+        return notation + " ; 9 :"  # configuration with no children
+    if mutation == 2:
+        return notation + " ; 9 : 9"  # arity mismatch (delta=2 grammar)
+    if mutation == 3:
+        return ""  # empty spec
+    return "? " + notation  # leading junk token
+
+
+def _error_signature(fn):
+    """What happened: error (type, code, message) or success fields."""
+    try:
+        outcome = fn()
+    except SessionError as error:
+        return (type(error).__name__, error.code, str(error))
+    return ("ok", outcome.complexity, outcome.canonical_key)
+
+
+class TestErrorCodeParity:
+    @pytest.mark.parametrize("seed", PARITY_SEEDS)
+    def test_corrupted_problems_fail_identically_everywhere(self, seed):
+        rng = random.Random(seed)
+        pool = _spec(seed).pool()
+        bad_specs = [
+            _corrupt(format_problem(problem), rng) for _, problem in pool[:5]
+        ]
+        bad_specs.append("1 : 2 2 ; 2 : 1")  # the classic arity mismatch
+
+        signatures = {}
+        with connect("local://inline") as session:
+            signatures["inline"] = [
+                _error_signature(lambda s=s: session.classify(s)) for s in bad_specs
+            ]
+        with connect("local://threads?workers=2") as session:
+            signatures["threads"] = [
+                _error_signature(lambda s=s: session.classify(s)) for s in bad_specs
+            ]
+        with ThreadedService(backend="threads", workers=2) as (host, port):
+            with connect(f"tcp://{host}:{port}") as session:
+                signatures["tcp"] = [
+                    _error_signature(lambda s=s: session.classify(s))
+                    for s in bad_specs
+                ]
+
+        assert signatures["inline"] == signatures["threads"] == signatures["tcp"]
+        # Every corruption really was rejected, with a machine-readable code.
+        for signature in signatures["inline"]:
+            assert signature[0] != "ok"
+            assert signature[1] == "bad-problem"
+
+    def test_bad_request_parameters_fail_identically_everywhere(self):
+        plan = _spec(PARITY_SEEDS[0]).plan()
+        problem = plan[0].problem
+        calls = [
+            lambda s: s.classify(problem, priority="urgent"),
+            lambda s: s.classify(problem, deadline=-1),
+        ]
+
+        collected = []
+        for call in calls:
+            row = []
+            with connect("local://inline") as session:
+                row.append(_error_signature(lambda: call(session)))
+            with connect("local://threads?workers=2") as session:
+                row.append(_error_signature(lambda: call(session)))
+            with ThreadedService(backend="threads", workers=2) as (host, port):
+                with connect(f"tcp://{host}:{port}") as session:
+                    row.append(_error_signature(lambda: call(session)))
+            collected.append(row)
+
+        for row in collected:
+            assert row[0] == row[1] == row[2]
+            assert row[0][0] != "ok"

@@ -61,8 +61,9 @@ def _fuzz_task(payload):
     return key, {"complexity": f"fuzz:{key}"}
 
 
-# The pool is shared with the session facade's endpoint parity tests
-# (tests/problem_pools.py), so both suites fuzz the same key distribution.
+# The pool is shared with the session facade's endpoint parity tests and
+# the loadgen harness (repro.problems.pools, re-exported by
+# tests/problem_pools.py), so every suite fuzzes the same key distribution.
 _FORM_POOL = distinct_forms(12)
 
 

@@ -9,6 +9,7 @@ import pytest
 from repro.core import SearchCancelled, SearchTimeout, checkpoint, classify
 from repro.engine import BatchClassifier, ClassificationCache, canonical_form
 from repro.problems import catalog
+from repro.problems.pools import distinct_forms
 from repro.problems.random_problems import random_problem
 from repro.workers import (
     BACKEND_NAMES,
@@ -144,15 +145,8 @@ def _form(seed=0, labels=2):
 
 
 def _distinct_forms(count, labels=2, start=0):
-    """``count`` canonical forms with pairwise-distinct keys (seeds scanned)."""
-    forms, seen, seed = [], set(), start
-    while len(forms) < count:
-        form = _form(seed=seed, labels=labels)
-        if form.key not in seen:
-            seen.add(form.key)
-            forms.append(form)
-        seed += 1
-    return forms
+    """The shared seeded pool, at this suite's historical 2-label density."""
+    return distinct_forms(count, labels=labels, density=0.5, start=start)
 
 
 class TestSingleFlight:
