@@ -1,0 +1,184 @@
+"""Certificate-search kernel benchmark and CI regression gate.
+
+Measures full ``classify()`` wall clock — the three certificate searches
+plus solvability — under both kernels (``REPRO_KERNEL=bitmask`` vs
+``reference``) on the adversarial family and on the shared seeded pool, and
+emits the ``repro.certsearch/1`` JSON schema.  The committed trajectory file
+is ``BENCH_certsearch.json`` at the repo root.
+
+Usage::
+
+    # Measure and write the trajectory file (run on the machine whose
+    # numbers you want to commit):
+    PYTHONPATH=src python benchmarks/bench_certsearch.py --write BENCH_certsearch.json
+
+    # CI regression gate: re-measure the gate size and fail (exit 3) when
+    # the measured speedup regressed >20% against the committed file or
+    # dropped below the 10x acceptance floor:
+    PYTHONPATH=src python benchmarks/bench_certsearch.py \
+        --gate BENCH_certsearch.json --max-regression 0.2
+
+Speedup (reference seconds / kernel seconds) is the gated metric on
+purpose: absolute seconds track the runner's CPU, while the ratio of two
+pure-Python implementations measured back to back in the same process is
+stable across machines.  Both sides are best-of ``--repeats``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import classify, kernel_override  # noqa: E402
+from repro.core.kernel import BITMASK, REFERENCE  # noqa: E402
+from repro.problems.adversarial import hard_problem  # noqa: E402
+from repro.problems.pools import distinct_forms  # noqa: E402
+
+SCHEMA = "repro.certsearch/1"
+POOL_COUNT = 20
+POOL_LABELS = 3
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure(fn, repeats: int) -> dict:
+    with kernel_override(REFERENCE):
+        reference = _best_of(fn, repeats)
+    with kernel_override(BITMASK):
+        kernel = _best_of(fn, repeats)
+    return {
+        "reference_seconds": round(reference, 6),
+        "kernel_seconds": round(kernel, 6),
+        "speedup": round(reference / kernel, 2) if kernel > 0 else float("inf"),
+    }
+
+
+def measure(pairs_list, repeats: int) -> dict:
+    report = {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "repeats": repeats,
+        "hard_problem": {},
+    }
+    for pairs in pairs_list:
+        problem = hard_problem(pairs)
+        report["hard_problem"][str(pairs)] = _measure(
+            lambda: classify(problem), repeats
+        )
+        print(
+            f"hard_problem({pairs}): {report['hard_problem'][str(pairs)]}",
+            file=sys.stderr,
+        )
+    pool = [form.problem for form in distinct_forms(POOL_COUNT, labels=POOL_LABELS)]
+
+    def classify_pool():
+        for problem in pool:
+            classify(problem)
+
+    report["pool"] = {
+        "labels": POOL_LABELS,
+        "count": POOL_COUNT,
+        **_measure(classify_pool, repeats),
+    }
+    print(f"pool: {report['pool']}", file=sys.stderr)
+    return report
+
+
+def gate(committed_path: Path, pairs: int, repeats: int, max_regression: float,
+         min_speedup: float) -> int:
+    committed = json.loads(committed_path.read_text())
+    if committed.get("schema") != SCHEMA:
+        print(f"gate: unexpected schema in {committed_path}", file=sys.stderr)
+        return 2
+    entry = committed["hard_problem"].get(str(pairs))
+    if entry is None:
+        print(f"gate: no committed entry for pairs={pairs}", file=sys.stderr)
+        return 2
+    problem = hard_problem(pairs)
+    measured = _measure(lambda: classify(problem), repeats)
+    floor = entry["speedup"] * (1.0 - max_regression)
+    print(
+        f"gate: pairs={pairs} measured speedup {measured['speedup']}x "
+        f"(committed {entry['speedup']}x, floor {floor:.1f}x, "
+        f"acceptance floor {min_speedup}x)"
+    )
+    if measured["speedup"] < min_speedup:
+        print(
+            f"gate: FAIL — speedup {measured['speedup']}x below the "
+            f"{min_speedup}x acceptance floor",
+            file=sys.stderr,
+        )
+        return 3
+    if measured["speedup"] < floor:
+        print(
+            f"gate: FAIL — speedup regressed more than "
+            f"{max_regression:.0%} against the committed trajectory",
+            file=sys.stderr,
+        )
+        return 3
+    print("gate: OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--pairs", type=int, nargs="+", default=[4, 5, 6],
+        help="hard_problem sizes to measure (default: 4 5 6)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of repeats per timing"
+    )
+    parser.add_argument(
+        "--write", type=Path, metavar="FILE",
+        help="write the measured repro.certsearch/1 report to FILE",
+    )
+    parser.add_argument(
+        "--gate", type=Path, metavar="FILE",
+        help="regression-gate mode: compare a fresh measurement against FILE",
+    )
+    parser.add_argument(
+        "--gate-pairs", type=int, default=5,
+        help="hard_problem size the gate measures (default: 5)",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.2,
+        help="allowed fractional speedup regression in gate mode (default: 0.2)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=10.0,
+        help="absolute speedup floor in gate mode (default: 10)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.gate is not None:
+        return gate(
+            args.gate, args.gate_pairs, args.repeats,
+            args.max_regression, args.min_speedup,
+        )
+
+    report = measure(args.pairs, args.repeats)
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.write is not None:
+        args.write.write_text(text)
+        print(f"wrote {args.write}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

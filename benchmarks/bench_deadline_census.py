@@ -2,7 +2,8 @@
 
 The acceptance scenario of the deadline/priority PR: a census that contains
 one *adversarially hard* problem (:func:`repro.problems.hard_problem` — an
-``Ω(2^{2·pairs})`` label-subset sweep, ~9 s at ``pairs=6``) is run with a 2 s
+``Ω(2^{2·pairs})`` label-subset sweep, minutes at ``pairs=12`` even under
+the bitmask kernel) is run with a 2 s
 per-key deadline.  The hard key must report ``timeout`` while every other
 draw classifies correctly, and the total wall-clock must stay within the
 deadline plus pool latency — i.e. the deadline actually reclaims the worker
@@ -25,7 +26,7 @@ from repro.problems.random_problems import random_problem
 DEADLINE_SECONDS = 2.0
 # Pool latency + checkpoint granularity + CI machine variance.  The point of
 # the assertion is the order of magnitude: an enforced deadline finishes in
-# ~deadline seconds, an unenforced one in the ~9 s the hard search needs.
+# ~deadline seconds, an unenforced one in the minutes the hard search needs.
 SLACK_SECONDS = 4.0
 
 
@@ -35,7 +36,7 @@ def _census_problems(count=20):
 
 def _deadline_census():
     problems = _census_problems()
-    hard = hard_problem(6)
+    hard = hard_problem(12)
     with connect("local://threads?workers=4") as session:
         items = list(
             session.classify_many(
@@ -68,7 +69,7 @@ def _timeout_reclaim_latency(backend: str) -> float:
     deadline = 0.5
     with connect(f"local://{backend}?workers=2") as session:
         start = time.monotonic()
-        item = session.classify(hard_problem(6), deadline=deadline)
+        item = session.classify(hard_problem(12), deadline=deadline)
         elapsed = time.monotonic() - start
     assert item.outcome == "timeout"
     return max(0.0, elapsed - deadline)

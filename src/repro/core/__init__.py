@@ -27,6 +27,13 @@ from .logstar_certificate import (
     has_logstar_certificate,
 )
 from .constant_certificate import find_constant_certificate_builder, has_constant_certificate
+from .kernel import (
+    KERNELS,
+    ProblemEncoding,
+    active_kernel,
+    kernel_override,
+    problem_encoding,
+)
 from .certificates import (
     CertificateError,
     CertificateTree,
@@ -54,15 +61,18 @@ __all__ = [
     "Configuration",
     "ConstantCertificate",
     "CoprimeCertificate",
+    "KERNELS",
     "LCLError",
     "LCLProblem",
     "Label",
     "LogCertificate",
     "LogCertificateAbsence",
+    "ProblemEncoding",
     "SearchCancelled",
     "SearchInterrupted",
     "SearchTimeout",
     "UniformCertificate",
+    "active_kernel",
     "build_constant_certificate",
     "build_uniform_certificate",
     "cancel_scope",
@@ -81,8 +91,10 @@ __all__ = [
     "has_constant_certificate",
     "has_log_certificate",
     "has_logstar_certificate",
+    "kernel_override",
     "parse_configuration",
     "parse_problem",
     "parse_problem_lines",
+    "problem_encoding",
     "remove_path_inflexible_configurations",
 ]

@@ -64,7 +64,23 @@ def classify(problem: LCLProblem) -> ClassificationResult:
 
 
 def classify_with_certificates(problem: LCLProblem) -> ClassificationArtifacts:
-    """Classify ``problem`` and materialize every certificate that exists."""
+    """Classify ``problem`` and materialize every certificate that exists.
+
+    The whole decision procedure runs inside one
+    :func:`repro.core.kernel.classification_scope`, so the bitmask kernel's
+    Algorithm 4 and Algorithm 5 sweeps share their per-subset memo tables: a
+    label subset whose plain Algorithm 3 search already ran is never swept
+    twice in one classification.  The scope (and every memo in it) is
+    dropped when this function returns or unwinds, so interrupted searches
+    cache nothing.
+    """
+    from . import kernel
+
+    with kernel.classification_scope(problem):
+        return _classify_with_certificates(problem)
+
+
+def _classify_with_certificates(problem: LCLProblem) -> ClassificationArtifacts:
     start = time.perf_counter()
     notes: Tuple[str, ...] = ()
     zero_round = problem.is_zero_round_solvable()

@@ -39,6 +39,11 @@ def find_constant_certificate_builder(
     is computed by Algorithm 3 with the repeated label of the special
     configuration as the required leaf label.
     """
+    from . import kernel
+
+    if kernel.use_bitmask_kernel():
+        return kernel.find_constant_certificate_builder(problem)
+
     for subset in candidate_label_subsets(problem):
         checkpoint()
         restricted = problem.restrict(subset)

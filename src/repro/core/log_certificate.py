@@ -148,6 +148,11 @@ def find_log_certificate(problem: LCLProblem):
     Returns a :class:`LogCertificate` when the pruning fixed point is non-empty,
     and a :class:`LogCertificateAbsence` (the paper's ``ε``) otherwise.
     """
+    from . import kernel
+
+    if kernel.use_bitmask_kernel():
+        return kernel.find_log_certificate(problem)
+
     problems, removed = pruning_sequence(problem)
     fixed_point = problems[-1]
     if fixed_point.is_empty():

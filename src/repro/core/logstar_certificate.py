@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import combinations, product
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .cancellation import checkpoint
 from .configuration import Configuration, Label
@@ -128,6 +128,11 @@ def find_unrestricted_certificate(
     When ``special_label`` is given, the certificate is additionally required to
     have that label at one of its leaves.
     """
+    from . import kernel
+
+    if kernel.use_bitmask_kernel():
+        return kernel.find_unrestricted_certificate(problem, special_label)
+
     labels = frozenset(problem.labels)
     if not labels or not problem.configurations:
         return None
@@ -176,21 +181,22 @@ def find_unrestricted_certificate(
     )
 
 
-def candidate_label_subsets(problem: LCLProblem) -> List[FrozenSet[Label]]:
-    """Subsets of labels worth trying in Algorithm 4.
+def candidate_label_subsets(problem: LCLProblem) -> Iterator[FrozenSet[Label]]:
+    """Subsets of labels worth trying in Algorithm 4, lazily.
 
     Any certificate label set ``Σ_T`` must be a subset of the greatest fixed point
     of "has a continuation below within the set" (every certificate label occurs
     as a root, hence needs a continuation using certificate labels only), so
     subsets outside that fixed point are skipped.  Subsets are enumerated in
-    increasing size so that the cheapest candidates are tried first.
+    increasing size so that the cheapest candidates are tried first.  The
+    enumeration is a generator: on wide alphabets there are ``2^|Σ|``
+    candidates, and the sweep's per-subset ``checkpoint()`` can only interrupt
+    an abandoned search early if the candidates are produced on demand.
     """
     universe = sorted(problem.infinite_continuation_labels())
-    subsets: List[FrozenSet[Label]] = []
     for size in range(1, len(universe) + 1):
         for combo in combinations(universe, size):
-            subsets.append(frozenset(combo))
-    return subsets
+            yield frozenset(combo)
 
 
 def find_certificate_builder(problem: LCLProblem) -> Optional[CertificateBuilder]:
@@ -201,6 +207,11 @@ def find_certificate_builder(problem: LCLProblem) -> Optional[CertificateBuilder
     time is exponential in the problem description in the worst case
     (Theorem 6.10), but small in practice.
     """
+    from . import kernel
+
+    if kernel.use_bitmask_kernel():
+        return kernel.find_certificate_builder(problem)
+
     for subset in candidate_label_subsets(problem):
         checkpoint()
         restricted = problem.restrict(subset)

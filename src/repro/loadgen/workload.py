@@ -95,7 +95,9 @@ class WorkloadSpec:
     mix: Mapping[str, float] = field(default_factory=lambda: dict(DEFAULT_MIX))
     deadlines: Mapping[str, Optional[float]] = field(default_factory=dict)
     adversarial_rate: float = 0.0
-    adversarial_pairs: int = 4
+    # Sized so the poison pill stays minutes-long under the bitmask kernel:
+    # the point is blowing `adversarial_deadline`, never completing.
+    adversarial_pairs: int = 12
     adversarial_deadline: Optional[float] = 0.25
 
     def __post_init__(self) -> None:

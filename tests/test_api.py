@@ -342,7 +342,7 @@ class TestErrorParity:
         assert local == remote
 
     def test_timeout_outcome_and_error_parity(self):
-        problem = hard_problem(6)  # ~seconds of search; deadline far below
+        problem = hard_problem(12)  # minutes of search; deadline far below
         with connect("local://inline") as session:
             local = session.classify(problem, deadline=0.2)
         with ThreadedService(backend="threads", workers=2) as (host, port):
@@ -430,7 +430,7 @@ class TestWarmBudget:
         easy = seeded_problems(4, labels=2)
         with connect("local://threads?workers=2") as session:
             summary = session.warm(
-                problems=easy + [hard_problem(6)], budget=0.8
+                problems=easy + [hard_problem(12)], budget=0.8
             )
         assert summary["waited"] is True
         assert summary["budget_seconds"] == 0.8
@@ -455,7 +455,7 @@ class TestWarmBudget:
         with ThreadedService(backend="threads", workers=2) as (host, port):
             with connect(f"tcp://{host}:{port}") as session:
                 summary = session.warm(
-                    problems=[hard_problem(6)], budget=0.5
+                    problems=[hard_problem(12)], budget=0.5
                 )
                 follow_up = session.warm(
                     census={"labels": 2, "count": 6}, budget=30
@@ -466,7 +466,7 @@ class TestWarmBudget:
 
     def test_interrupted_warm_does_not_poison_the_cache(self):
         with connect("local://threads?workers=2") as session:
-            session.warm(problems=[hard_problem(6)], budget=0.3)
+            session.warm(problems=[hard_problem(12)], budget=0.3)
             stats = session.stats()
         assert stats["cache"]["entries"] == 0
         assert stats["workers"]["cancelled"] + stats["workers"]["timeouts"] >= 1
@@ -503,8 +503,8 @@ class TestRemoteSubmit:
     def test_local_pending_cancel_detaches(self):
         with connect("local://threads?workers=1") as session:
             # Occupy the single worker so the second submission queues...
-            blocker = session.submit(hard_problem(6), deadline=30)
-            victim = session.submit(hard_problem(6))
+            blocker = session.submit(hard_problem(12), deadline=30)
+            victim = session.submit(hard_problem(12))
             # ...then detach both; queued flights never dispatch.
             assert victim.cancel() is True
             assert blocker.cancel() in (True, False)
@@ -571,7 +571,7 @@ class TestStreamGuards:
     def test_wait_timeout_is_plain_timeouterror_on_both_endpoints(self):
         raised = {}
         with connect("local://threads?workers=2") as session:
-            pending = session.submit(hard_problem(6), deadline=30)
+            pending = session.submit(hard_problem(12), deadline=30)
             try:
                 pending.result(timeout=0.05)
             except TimeoutError:
@@ -580,7 +580,7 @@ class TestStreamGuards:
                 pending.cancel()
         with ThreadedService(backend="threads", workers=2) as (host, port):
             with connect(f"tcp://{host}:{port}") as session:
-                pending = session.submit(hard_problem(6), deadline=2)
+                pending = session.submit(hard_problem(12), deadline=2)
                 try:
                     pending.result(timeout=0.05)
                 except TimeoutError:

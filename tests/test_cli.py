@@ -335,7 +335,7 @@ def _write_hard_problem(tmp_path):
     from repro.problems import hard_problem
 
     path = tmp_path / "hard.txt"
-    path.write_text(format_problem(hard_problem(6)) + "\n")
+    path.write_text(format_problem(hard_problem(12)) + "\n")
     return path
 
 
@@ -394,7 +394,7 @@ def test_classify_batch_deadline_marks_items(tmp_path, capsys):
 
     batch_file.write_text(
         "# name: easy\n1 : 2 2\n2 : 1 1\n---\n# name: hard\n"
-        + format_problem(hard_problem(6))
+        + format_problem(hard_problem(12))
         + "\n"
     )
     assert main(["classify-batch", str(batch_file), "--deadline", "1.0", "--json"]) == 0

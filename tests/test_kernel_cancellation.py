@@ -1,0 +1,113 @@
+"""Cancellation regressions for the bitmask kernel.
+
+PR 4's guarantee — every exponential loop polls ``checkpoint()`` so
+deadlines and cross-thread cancellation interrupt a search within a small
+latency bound — must survive the kernel rewrite.  These tests run the same
+scenarios the frozenset path is tested for (``tests/test_cancellation.py``)
+explicitly against both kernels, plus the memo-scope property the kernel
+adds: an interrupted classification caches nothing, so retrying a doomed
+search stays doomed (and retrying with headroom still succeeds).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core import (
+    CancelToken,
+    SearchCancelled,
+    SearchTimeout,
+    cancel_scope,
+    classify,
+    kernel_override,
+)
+from repro.core.kernel import BITMASK, KERNELS, _scope
+from repro.problems.adversarial import hard_problem
+
+
+class TestKernelCheckpointLatency:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_deadline_mid_sweep_raises_search_timeout_quickly(self, kernel):
+        """A minutes-long sweep aborts within the reference latency bound."""
+        problem = hard_problem(12)
+        start = time.monotonic()
+        with kernel_override(kernel):
+            with cancel_scope(CancelToken.with_budget(0.3)):
+                with pytest.raises(SearchTimeout):
+                    classify(problem)
+        # Same generous CI margin as the frozenset-path test: the sweeps
+        # checkpoint every subset and every δ-tuple, so an abort seconds
+        # late means the kernel lost its polling hooks.
+        assert time.monotonic() - start < 5.0
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_cross_thread_cancel_interrupts_kernel_sweep(self, kernel):
+        problem = hard_problem(12)
+        token = CancelToken()
+        outcome = []
+
+        def search():
+            try:
+                with kernel_override(kernel):
+                    with cancel_scope(token):
+                        classify(problem)
+                outcome.append("completed")
+            except SearchCancelled:
+                outcome.append("cancelled")
+
+        thread = threading.Thread(target=search)
+        thread.start()
+        time.sleep(0.2)
+        token.cancel()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert outcome == ["cancelled"]
+
+
+class TestInterruptedSearchesCacheNothing:
+    def test_repeated_deadline_classifications_all_time_out(self):
+        """If an aborted sweep leaked memo state, the retry would finish
+        instantly instead of blowing its budget again."""
+        problem = hard_problem(9)  # ~2s kernel sweep: far over every budget
+        with kernel_override(BITMASK):
+            for _attempt in range(3):
+                start = time.monotonic()
+                with cancel_scope(CancelToken.with_budget(0.15)):
+                    with pytest.raises(SearchTimeout):
+                        classify(problem)
+                assert time.monotonic() - start < 2.0
+
+    def test_interrupt_then_success_then_interrupt(self):
+        """A completed classification in between must not change the memo
+        story either: scopes are per-call, dropped on return and unwind."""
+        hard = hard_problem(9)
+        easy = hard_problem(2)
+        with kernel_override(BITMASK):
+            with cancel_scope(CancelToken.with_budget(0.15)):
+                with pytest.raises(SearchTimeout):
+                    classify(hard)
+            assert classify(easy).complexity.value == "Theta(log n)"
+            with cancel_scope(CancelToken.with_budget(0.15)):
+                with pytest.raises(SearchTimeout):
+                    classify(hard)
+
+    def test_scope_stack_is_empty_after_unwind(self):
+        """The thread-local KernelState stack never leaks past an interrupt."""
+        with kernel_override(BITMASK):
+            with cancel_scope(CancelToken.with_budget(0.1)):
+                with pytest.raises(SearchTimeout):
+                    classify(hard_problem(9))
+        assert getattr(_scope, "stack", []) == []
+
+    def test_interrupted_search_does_not_poison_answers(self):
+        """After an interrupt, an undeadlined classification still answers
+        exactly (and correctly for the adversarial family)."""
+        problem = hard_problem(4)
+        with kernel_override(BITMASK):
+            with cancel_scope(CancelToken.with_budget(0.0)):
+                with pytest.raises(SearchTimeout):
+                    classify(problem)
+            assert classify(problem).complexity.value == "Theta(log n)"

@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) for the bitmask kernel layer.
+
+The kernel's claim is that ints under bitwise ops implement the same set
+algebra the reference implements with ``frozenset``.  These tests state that
+claim as properties over seeded random label universes:
+
+* encode/decode round-trips (``mask_of`` / ``labels_of`` are inverse
+  bijections between label subsets and ``[0, 2^|Σ|)``),
+* restriction, ``uses_only``, continuation, and flexibility computed on
+  masks agree with the ``LCLProblem``/automata set semantics,
+* the child-multiset matching agrees with ``assign_children_to_sets``, and
+* renaming invariance: canonical forms still identify renamed problems, and
+  the kernel classifies every renaming of a problem identically.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.flexibility import path_flexible_labels
+from repro.core import Configuration, LCLProblem, classify, kernel_override
+from repro.core.kernel import (
+    BITMASK,
+    REFERENCE,
+    match_children_to_sets,
+    problem_encoding,
+)
+from repro.core.logstar_certificate import assign_children_to_sets
+from repro.engine.canonical import canonical_form
+
+LABEL_NAMES = ["1", "2", "3", "a", "b", "zz"]
+
+labels_strategy = st.lists(
+    st.sampled_from(LABEL_NAMES), min_size=1, max_size=4, unique=True
+)
+
+
+@st.composite
+def problems(draw, delta: int = 2):
+    """Random small LCL problems (δ = 2, at most 4 labels, any density)."""
+    labels = draw(labels_strategy)
+    universe = [
+        (parent, (first, second))
+        for parent in labels
+        for first in labels
+        for second in labels
+        if first <= second
+    ]
+    subset = draw(
+        st.lists(st.sampled_from(universe), min_size=0, max_size=len(universe), unique=True)
+    )
+    return LCLProblem.create(delta=delta, configurations=subset, labels=labels)
+
+
+@st.composite
+def problem_and_label_subset(draw):
+    problem = draw(problems())
+    ordered = sorted(problem.labels)
+    chosen = draw(
+        st.lists(st.sampled_from(ordered), min_size=0, max_size=len(ordered), unique=True)
+    )
+    return problem, frozenset(chosen)
+
+
+# ----------------------------------------------------------------------
+# Encode / decode
+# ----------------------------------------------------------------------
+@given(problem_and_label_subset())
+@settings(max_examples=80, deadline=None)
+def test_mask_roundtrip_from_labels(pair):
+    problem, subset = pair
+    enc = problem_encoding(problem)
+    assert enc.labels_of(enc.mask_of(subset)) == subset
+
+
+@given(problems(), st.integers(min_value=0, max_value=(1 << len(LABEL_NAMES)) - 1))
+@settings(max_examples=80, deadline=None)
+def test_mask_roundtrip_from_ints(problem, raw):
+    enc = problem_encoding(problem)
+    mask = raw & enc.full_mask
+    assert enc.mask_of(enc.labels_of(mask)) == mask
+
+
+@given(problems())
+@settings(max_examples=60, deadline=None)
+def test_bit_order_is_sorted_label_order(problem):
+    enc = problem_encoding(problem)
+    assert enc.labels == sorted(problem.labels)
+    for index, label in enumerate(enc.labels):
+        assert enc.index_of[label] == index
+        assert enc.labels_of(1 << index) == frozenset({label})
+
+
+# ----------------------------------------------------------------------
+# Set semantics: restriction / uses_only / continuation / flexibility
+# ----------------------------------------------------------------------
+@given(problem_and_label_subset())
+@settings(max_examples=80, deadline=None)
+def test_uses_only_is_a_single_mask_test(pair):
+    problem, subset = pair
+    enc = problem_encoding(problem)
+    allowed = enc.mask_of(subset)
+    for (parent, config_mask, _bits), config in zip(
+        enc.configs, problem.sorted_configurations()
+    ):
+        assert enc.labels[parent] == config.parent
+        assert (config_mask & ~allowed == 0) == config.uses_only(subset)
+
+
+@given(problem_and_label_subset())
+@settings(max_examples=80, deadline=None)
+def test_restriction_config_count_matches(pair):
+    problem, subset = pair
+    enc = problem_encoding(problem)
+    restricted = problem.restrict(subset)
+    assert enc.allowed_config_count(enc.mask_of(subset)) == len(
+        restricted.configurations
+    )
+
+
+@given(problems())
+@settings(max_examples=60, deadline=None)
+def test_infinite_continuation_mask_matches(problem):
+    enc = problem_encoding(problem)
+    assert (
+        enc.labels_of(enc.infinite_continuation_mask())
+        == problem.infinite_continuation_labels()
+    )
+
+
+@given(problem_and_label_subset())
+@settings(max_examples=60, deadline=None)
+def test_flexible_mask_matches_automaton_flexibility(pair):
+    problem, subset = pair
+    enc = problem_encoding(problem)
+    restricted = problem.restrict(subset)
+    assert enc.labels_of(enc.flexible_mask(enc.mask_of(subset))) == path_flexible_labels(
+        restricted
+    )
+
+
+@given(problem_and_label_subset())
+@settings(max_examples=60, deadline=None)
+def test_support_test_is_exact(pair):
+    """``all_labels_supported`` ⟺ every subset label parents an allowed config."""
+    problem, subset = pair
+    enc = problem_encoding(problem)
+    restricted = problem.restrict(subset)
+    expected = all(
+        any(config.parent == label for config in restricted.configurations)
+        for label in subset & problem.labels
+    )
+    assert enc.all_labels_supported(enc.mask_of(subset)) == expected
+
+
+# ----------------------------------------------------------------------
+# Matching
+# ----------------------------------------------------------------------
+children_strategy = st.lists(
+    st.sampled_from(LABEL_NAMES), min_size=1, max_size=4
+)
+sets_strategy = st.lists(
+    st.frozensets(st.sampled_from(LABEL_NAMES), max_size=4), min_size=1, max_size=4
+)
+
+
+@given(children_strategy, sets_strategy)
+@settings(max_examples=120, deadline=None)
+def test_matching_agrees_with_reference_assignment(children, sets):
+    if len(children) != len(sets):
+        sets = (sets * len(children))[: len(children)]
+    config = Configuration(parent=children[0], children=tuple(children))
+    # Configuration sorts its children; mirror that order for the index view.
+    sorted_children = tuple(sorted(children))
+    index_of = {label: index for index, label in enumerate(LABEL_NAMES)}
+    child_indices = tuple(index_of[label] for label in sorted_children)
+    set_masks = tuple(
+        sum(1 << index_of[label] for label in label_set) for label_set in sets
+    )
+    expected = assign_children_to_sets(config, [frozenset(s) for s in sets]) is not None
+    assert match_children_to_sets(child_indices, set_masks) == expected
+
+
+@given(children_strategy, sets_strategy, st.randoms(use_true_random=False))
+@settings(max_examples=60, deadline=None)
+def test_matching_is_permutation_invariant(children, sets, rng):
+    if len(children) != len(sets):
+        sets = (sets * len(children))[: len(children)]
+    index_of = {label: index for index, label in enumerate(LABEL_NAMES)}
+    child_indices = tuple(sorted(index_of[label] for label in children))
+    set_masks = [sum(1 << index_of[label] for label in s) for s in sets]
+    baseline = match_children_to_sets(child_indices, tuple(set_masks))
+    rng.shuffle(set_masks)
+    assert match_children_to_sets(child_indices, tuple(set_masks)) == baseline
+
+
+# ----------------------------------------------------------------------
+# Renaming invariance
+# ----------------------------------------------------------------------
+@given(problems(), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_renaming_preserves_canonical_key_and_classification(problem, rng):
+    ordered = sorted(problem.labels)
+    fresh = [f"r{index}" for index in range(len(ordered))]
+    rng.shuffle(fresh)
+    mapping = dict(zip(ordered, fresh))
+    renamed = LCLProblem.create(
+        delta=problem.delta,
+        configurations=[
+            (mapping[config.parent], tuple(mapping[child] for child in config.children))
+            for config in problem.configurations
+        ],
+        labels=[mapping[label] for label in ordered],
+    )
+    assert canonical_form(renamed).key == canonical_form(problem).key
+    with kernel_override(BITMASK):
+        bitmask_result = classify(renamed)
+        assert bitmask_result.complexity == classify(problem).complexity
+    with kernel_override(REFERENCE):
+        assert classify(renamed).complexity == bitmask_result.complexity

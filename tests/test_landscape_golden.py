@@ -1,0 +1,102 @@
+"""Golden landscape pin: the census digest is committed and asserted.
+
+The classifier's *answers* are the product this repo ships; a kernel change
+that flips a single classification must fail loudly, not surface months
+later as a wrong table.  This suite recomputes the ``bench_table1_landscape``
+census — every catalog row plus the exhaustive two-label δ=2 landscape plus
+the seeded three-label pool — and compares it entry by entry against the
+committed fixture ``tests/data/landscape_golden.json``, finishing with the
+overall digest.
+
+The fixture is regenerated on purpose only::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest -q tests/test_landscape_golden.py
+
+A regeneration must come with an explanation of *why* the landscape moved;
+the classes are theorems, so legitimate moves are essentially limited to
+census membership changes (new catalog rows, pool changes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+from pathlib import Path
+
+from repro.core import classify
+from repro.core.problem import LCLProblem
+from repro.engine.canonical import canonical_form
+from repro.problems.catalog import catalog
+from repro.problems.pools import distinct_forms
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "landscape_golden.json"
+
+
+def _two_label_landscape() -> list:
+    """Every δ=2 problem over {1, 2}: 64 configuration subsets, in order."""
+    labels = ("1", "2")
+    universe = [
+        (parent, children)
+        for parent in labels
+        for children in itertools.combinations_with_replacement(labels, 2)
+    ]
+    rows = []
+    for bits in range(1 << len(universe)):
+        chosen = [universe[i] for i in range(len(universe)) if (bits >> i) & 1]
+        problem = LCLProblem.create(delta=2, configurations=chosen, labels=labels)
+        rows.append({"bits": bits, "complexity": classify(problem).complexity.value})
+    return rows
+
+
+def compute_census() -> dict:
+    """The full golden census (deterministic: no seeds drawn at run time)."""
+    catalog_rows = {}
+    for name, (problem, _expected) in sorted(catalog().items()):
+        catalog_rows[name] = {
+            "canonical_digest": canonical_form(problem).digest,
+            "complexity": classify(problem).complexity.value,
+        }
+    pool_rows = []
+    for form in distinct_forms(20, labels=3, density=0.3):
+        pool_rows.append(
+            {
+                "canonical_digest": form.digest,
+                "complexity": classify(form.problem).complexity.value,
+            }
+        )
+    census = {
+        "schema": "repro.landscape_golden/1",
+        "catalog": catalog_rows,
+        "two_label_delta2": _two_label_landscape(),
+        "pool_labels3_density0.3_count20": pool_rows,
+    }
+    census["digest"] = hashlib.sha256(
+        json.dumps(census, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return census
+
+
+def test_landscape_census_matches_committed_golden():
+    census = compute_census()
+    if os.environ.get("REPRO_UPDATE_GOLDEN") == "1":  # pragma: no cover
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(census, indent=2, sort_keys=True) + "\n")
+    golden = json.loads(GOLDEN_PATH.read_text())
+
+    # Entry-by-entry first: a digest mismatch alone is undebuggable.
+    assert census["catalog"] == golden["catalog"]
+    assert census["two_label_delta2"] == golden["two_label_delta2"]
+    assert (
+        census["pool_labels3_density0.3_count20"]
+        == golden["pool_labels3_density0.3_count20"]
+    )
+    assert census["digest"] == golden["digest"]
+
+
+def test_catalog_expectations_still_hold():
+    """The catalog's own expected classes agree with the pinned census."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    for name, (_problem, expected) in catalog().items():
+        assert golden["catalog"][name]["complexity"] == expected.value, name

@@ -200,7 +200,7 @@ class TestLoadDriver:
             duration=0.2,
             rate=10,
             adversarial_rate=1.0,
-            adversarial_pairs=6,  # ~seconds of search, far over the deadline
+            adversarial_pairs=12,  # minutes of search, far over the deadline
             adversarial_deadline=0.1,
         )
         plan = spec.plan()[:2]
@@ -458,7 +458,7 @@ class TestClassifyManySoak:
             duration=0.5,
             rate=30,
             adversarial_rate=0.5,
-            adversarial_pairs=6,
+            adversarial_pairs=12,
             adversarial_deadline=0.15,
         )
         plan = spec.plan()
@@ -492,7 +492,7 @@ class TestSlotLeakRegression:
             scheduler = session._driver.classifier.scheduler
             # A slow poison pill holds a worker slot while the burst queues
             # behind it, then gets cancelled mid-flight.
-            blocker = session.submit(hard_problem(6), deadline=30)
+            blocker = session.submit(hard_problem(12), deadline=30)
             pendings = [
                 session.submit(request.problem, priority=request.priority)
                 for request in plan

@@ -626,7 +626,7 @@ class TestDeadlinesAndCancellation:
         and must not inflate the cache hit rate (code-review regression)."""
         from repro.problems import hard_problem
 
-        hard = hard_problem(6)
+        hard = hard_problem(12)
         with BatchClassifier(backend="threads", workers=2) as classifier:
             items = classifier.classify_many([hard, hard], deadline=0.2)
             hits_after_timeout = classifier.cache_stats.hits
