@@ -20,7 +20,9 @@ endpoints travel well through CLIs, env vars, and config files:
 Query parameters shared by the ``local``/``stdio`` modes: ``cache=FILE``
 (persistent result cache) and ``cache_max_entries=N`` (LRU budget).  All
 modes accept ``priority`` and ``deadline`` (seconds) as session-wide
-scheduling defaults.  Anything unrecognized raises
+scheduling defaults, and ``obs=0`` to bypass the observability layer
+(request ids, metrics registry, tracer) entirely.  Anything unrecognized
+raises
 :class:`~repro.api.errors.EndpointError` — a typo in an endpoint should
 never be silently ignored.
 """
@@ -43,7 +45,7 @@ MODES = (MODE_LOCAL, MODE_TCP, MODE_STDIO)
 DEFAULT_TCP_PORT = 8765
 """Port assumed by ``tcp://host`` endpoints, matching ``repro serve``."""
 
-_COMMON_QUERY_KEYS = ("priority", "deadline")
+_COMMON_QUERY_KEYS = ("priority", "deadline", "obs")
 # tcp endpoints accept cache parameters too: when a tcp endpoint is handed
 # to `repro serve` it describes the *server*, whose cache they configure.
 # A connecting session ignores them (the cache lives server-side).
@@ -77,6 +79,12 @@ class SessionConfig:
     default_priority, default_deadline:
         Session-wide scheduling defaults applied when a call does not pass
         its own ``priority``/``deadline``.
+    obs:
+        Whether the observability layer (request ids, the metrics registry,
+        the env-gated tracer) is wired up at all.  ``obs=False`` (``?obs=0``)
+        bypasses it completely — the baseline configuration the
+        ``BENCH_obs.json`` overhead gate compares against.  Note tracing
+        itself is additionally opt-in via ``REPRO_TRACE`` even when ``True``.
     """
 
     mode: str = MODE_LOCAL
@@ -89,6 +97,7 @@ class SessionConfig:
     cache_max_entries: Optional[int] = None
     default_priority: Optional[str] = None
     default_deadline: Optional[float] = None
+    obs: bool = True
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -136,6 +145,8 @@ class SessionConfig:
             query["priority"] = self.default_priority
         if self.default_deadline is not None:
             query["deadline"] = self.default_deadline
+        if not self.obs:
+            query["obs"] = 0
         if not query:
             return base
         encoded = "&".join(f"{key}={value}" for key, value in query.items())
@@ -169,6 +180,22 @@ def _float_param(params: Dict[str, str], key: str, endpoint: str) -> Optional[fl
         raise EndpointError(
             f"{key} must be a number in endpoint {endpoint!r}, got {params[key]!r}"
         ) from None
+
+
+def _bool_param(
+    params: Dict[str, str], key: str, endpoint: str, default: bool
+) -> bool:
+    if key not in params:
+        return default
+    value = params[key].strip().lower()
+    if value in ("0", "false", "off", "no"):
+        return False
+    if value in ("", "1", "true", "on", "yes"):
+        return True
+    raise EndpointError(
+        f"{key} must be a boolean (0/1) in endpoint {endpoint!r}, "
+        f"got {params[key]!r}"
+    )
 
 
 def parse_endpoint(endpoint: str) -> SessionConfig:
@@ -213,6 +240,7 @@ def parse_endpoint(endpoint: str) -> SessionConfig:
     common = {
         "default_priority": params.get("priority"),
         "default_deadline": _float_param(params, "deadline", endpoint),
+        "obs": _bool_param(params, "obs", endpoint, default=True),
     }
     if mode == MODE_LOCAL:
         backend = parts.netloc or parts.path.strip("/")

@@ -65,6 +65,11 @@ class Outcome:
     error_code: Optional[str] = None
     error_message: Optional[str] = None
     problem: Optional[LCLProblem] = None
+    # The tracing request id of the call that produced this outcome (None
+    # when tracing was off).  Deliberately NOT part of as_dict(): the item
+    # payload shape is pinned to the wire format, and the id already travels
+    # as the protocol frame id / PendingOutcome.request_id.
+    request_id: Optional[Any] = None
 
     @property
     def ok(self) -> bool:
@@ -118,7 +123,9 @@ class Outcome:
         return payload
 
     @classmethod
-    def from_batch_item(cls, item: BatchItem) -> "Outcome":
+    def from_batch_item(
+        cls, item: BatchItem, request_id: Optional[Any] = None
+    ) -> "Outcome":
         """Lift a local :class:`BatchItem` into the unified shape."""
         result = item.result
         return cls(
@@ -131,11 +138,15 @@ class Outcome:
             from_cache=item.from_cache,
             elapsed_ms=item.elapsed_seconds * 1000.0,
             problem=item.problem,
+            request_id=request_id,
         )
 
     @classmethod
     def from_payload(
-        cls, payload: Mapping[str, Any], problem: Optional[LCLProblem] = None
+        cls,
+        payload: Mapping[str, Any],
+        problem: Optional[LCLProblem] = None,
+        request_id: Optional[Any] = None,
     ) -> "Outcome":
         """Read a protocol item/result payload back into an :class:`Outcome`."""
         result_dict = payload.get("result")
@@ -153,6 +164,7 @@ class Outcome:
             error_code=error.get("code"),
             error_message=error.get("message"),
             problem=problem,
+            request_id=request_id,
         )
 
 

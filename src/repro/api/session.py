@@ -28,6 +28,7 @@ config's scheduling defaults, and validates request shape *before* dispatch
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import (
@@ -51,6 +52,8 @@ from ..engine.batch import BatchClassifier, PendingClassification
 from ..engine.cache import ClassificationCache
 from ..engine.canonical import canonical_form
 from ..engine.serialization import problem_from_dict, problem_to_dict
+from ..obs import build_registry, render_prometheus
+from ..obs.trace import DISABLED_TRACER, RequestTrace, Tracer
 from ..problems.random_problems import random_problem
 from ..workers.scheduler import PRIORITIES
 from .config import MODE_LOCAL, MODE_TCP, SessionConfig, parse_endpoint
@@ -146,22 +149,30 @@ class PendingOutcome:
     until the :class:`Outcome` is available (an interrupted search resolves
     to an Outcome with ``outcome="timeout"``/``"cancelled"``, it does not
     raise).  :meth:`cancel` detaches this submission from its search when the
-    endpoint supports it (local sessions; remote submissions return
-    ``False`` — use the service's ``cancel`` operation from another
-    connection instead).
+    endpoint supports it: local sessions detach in-process, TCP sessions
+    open a short-lived second connection and invoke the service's ``cancel``
+    operation with this submission's reserved wire id (stdio sessions have
+    a single pipe and return ``False``).
+
+    ``request_id`` is the tracing/wire id of this submission — pass it to
+    :meth:`ClassificationSession.trace` to fetch the finished span tree.
+    ``None`` when the session runs with observability off (``obs=0``, or a
+    local session with tracing disabled).
     """
 
-    __slots__ = ("_result", "_done", "_cancel")
+    __slots__ = ("_result", "_done", "_cancel", "request_id")
 
     def __init__(
         self,
         result: Callable[[Optional[float]], Outcome],
         done: Callable[[], bool],
         cancel: Optional[Callable[[], bool]] = None,
+        request_id: Optional[Any] = None,
     ) -> None:
         self._result = result
         self._done = done
         self._cancel = cancel
+        self.request_id = request_id
 
     @property
     def done(self) -> bool:
@@ -200,52 +211,121 @@ class _LocalDriver:
         self.classifier = BatchClassifier(
             cache=cache, backend=config.backend, workers=config.workers
         )
+        # Observability: one env-gated tracer plus one metrics registry per
+        # driver, mirroring exactly what the service wires up — the registry
+        # is built by the same `build_registry`, which is what makes the
+        # local-vs-remote metrics parity structural rather than tested-for.
+        # `obs=0` skips all of it; `self.tracer.start()` then returns None
+        # and every trace branch below is dead.
+        self._obs = config.obs
+        self.tracer = Tracer.from_env() if config.obs else DISABLED_TRACER
+        self._served = 0
+        self._served_lock = threading.Lock()
+        self._started_at = time.time()
+        self.registry = (
+            build_registry(
+                self.classifier,
+                self.tracer,
+                lambda: self._served,
+                self._started_at,
+            )
+            if config.obs
+            else None
+        )
 
-    def _resolve(self, pending: PendingClassification) -> Outcome:
+    def _start_trace(self, op: str) -> Optional[RequestTrace]:
+        with self._served_lock:
+            self._served += 1
+        return self.tracer.start(op)
+
+    def _resolve(
+        self,
+        pending: PendingClassification,
+        trace: Optional[RequestTrace] = None,
+    ) -> Outcome:
         try:
             item = pending.result()
         except SearchInterrupted:  # pragma: no cover - normally pre-converted
+            if trace is not None:
+                trace.finish("error")
             raise
         except SessionError:
+            if trace is not None:
+                trace.finish("error")
             raise
         except Exception as error:  # noqa: BLE001 - one internal-error surface
+            if trace is not None:
+                trace.finish("error")
             raise InternalError(f"{type(error).__name__}: {error}") from error
-        return Outcome.from_batch_item(item)
+        if trace is not None:
+            trace.finish(item.outcome)
+        return Outcome.from_batch_item(
+            item, request_id=trace.request_id if trace is not None else None
+        )
 
     def submit(
         self, problem: LCLProblem, priority: str, deadline: Optional[float]
     ) -> PendingOutcome:
+        trace = self._start_trace("submit")
         pending = self.classifier.submit_item(
-            problem, priority=priority, deadline=deadline
+            problem, priority=priority, deadline=deadline, trace=trace
         )
         return PendingOutcome(
-            result=lambda timeout=None: self._resolve_with_timeout(pending, timeout),
+            result=lambda timeout=None: self._resolve_with_timeout(
+                pending, timeout, trace
+            ),
             done=lambda: pending.done,
-            cancel=pending.cancel,
+            cancel=lambda: self._cancel_pending(pending, trace),
+            request_id=trace.request_id if trace is not None else None,
         )
 
+    @staticmethod
+    def _cancel_pending(
+        pending: PendingClassification, trace: Optional[RequestTrace]
+    ) -> bool:
+        detached = pending.cancel()
+        # A detached submission may never be result()ed again; close its
+        # trace now so cancelled span trees are complete (finish is
+        # idempotent, so a later result() call is harmless).
+        if detached and trace is not None:
+            trace.finish("cancelled")
+        return detached
+
     def _resolve_with_timeout(
-        self, pending: PendingClassification, timeout: Optional[float]
+        self,
+        pending: PendingClassification,
+        timeout: Optional[float],
+        trace: Optional[RequestTrace] = None,
     ) -> Outcome:
         try:
             item = pending.result(timeout=timeout)
         except FuturesTimeoutError:
             # "Not ready within the wait" is not an engine failure: let the
             # standard TimeoutError through, identically to remote pendings.
+            # The submission (and its trace) keeps running — don't finish.
             raise
         except SessionError:
+            if trace is not None:
+                trace.finish("error")
             raise
         except Exception as error:  # noqa: BLE001
+            if trace is not None:
+                trace.finish("error")
             raise InternalError(f"{type(error).__name__}: {error}") from error
-        return Outcome.from_batch_item(item)
+        if trace is not None:
+            trace.finish(item.outcome)
+        return Outcome.from_batch_item(
+            item, request_id=trace.request_id if trace is not None else None
+        )
 
     def classify(
         self, problem: LCLProblem, priority: str, deadline: Optional[float]
     ) -> Outcome:
+        trace = self._start_trace("classify")
         pending = self.classifier.submit_item(
-            problem, priority=priority, deadline=deadline
+            problem, priority=priority, deadline=deadline, trace=trace
         )
-        return self._resolve(pending)
+        return self._resolve(pending, trace)
 
     def iter_outcomes(
         self,
@@ -255,14 +335,22 @@ class _LocalDriver:
     ) -> Iterator[Outcome]:
         # Fan everything out up front (the pooled backends overlap searches),
         # then stream outcomes in submission order as each future resolves.
-        pendings = [
-            self.classifier.submit_item(problem, priority=priority, deadline=deadline)
-            for problem in problems
-        ]
+        # One trace per item, like the service's per-item sub-traces.
+        submissions = []
+        for problem in problems:
+            trace = self._start_trace("classify_batch")
+            submissions.append(
+                (
+                    self.classifier.submit_item(
+                        problem, priority=priority, deadline=deadline, trace=trace
+                    ),
+                    trace,
+                )
+            )
 
         def generate() -> Iterator[Outcome]:
-            for pending in pendings:
-                yield self._resolve(pending)
+            for pending, trace in submissions:
+                yield self._resolve(pending, trace)
 
         return generate()
 
@@ -288,7 +376,7 @@ class _LocalDriver:
 
     def stats(self) -> Dict[str, Any]:
         cache = self.classifier.cache
-        return {
+        payload = {
             "cache": {
                 "entries": len(cache),
                 "max_entries": cache.max_entries,
@@ -297,6 +385,29 @@ class _LocalDriver:
             },
             "batch": self.classifier.stats.as_dict(),
             "workers": self.classifier.scheduler.stats_payload(),
+        }
+        if self._obs:
+            payload["trace"] = self.tracer.as_dict()
+        return payload
+
+    def metrics(self) -> Dict[str, Any]:
+        if self.registry is None:
+            raise UnsupportedOperationError(
+                "observability is disabled on this session (obs=0)"
+            )
+        snapshot = self.registry.snapshot()
+        return {"snapshot": snapshot, "text": render_prometheus(snapshot)}
+
+    def trace(self, request_id: Any) -> Dict[str, Any]:
+        if not self._obs:
+            raise UnsupportedOperationError(
+                "observability is disabled on this session (obs=0)"
+            )
+        document = self.tracer.get(request_id)
+        return {
+            "request_id": request_id,
+            "found": document is not None,
+            "trace": document,
         }
 
     def cancel(self, request_id: Any) -> Dict[str, Any]:
@@ -314,6 +425,7 @@ class _LocalDriver:
         self.classifier.close()
         if cache.path:
             cache.save()
+        self.tracer.close()
 
 
 # ----------------------------------------------------------------------
@@ -333,6 +445,8 @@ class _RemoteDriver:
         # unwanted; only remote sessions pay for it.
         from ..service.client import ServiceClient, ServiceError
 
+        self.config = config
+        self._service_client = ServiceClient
         self._service_error = ServiceError
         try:
             if config.mode == MODE_TCP:
@@ -382,25 +496,51 @@ class _RemoteDriver:
         return deadline * 1000.0 if deadline is not None else None
 
     def classify(
-        self, problem: LCLProblem, priority: str, deadline: Optional[float]
+        self,
+        problem: LCLProblem,
+        priority: str,
+        deadline: Optional[float],
+        request_id: Optional[Any] = None,
     ) -> Outcome:
+        # Reserve the wire id up front (when observability is on) so the
+        # outcome can carry it — that id is what `trace`/`cancel` address.
+        if request_id is None and self.config.obs:
+            request_id = self.client.reserve_request_id()
         payload = self._call(
             lambda: self.client.classify(
                 problem_to_dict(problem),
                 priority=priority,
                 deadline_ms=self._deadline_ms(deadline),
+                request_id=request_id,
             )
         )
-        return Outcome.from_payload(payload, problem)
+        return Outcome.from_payload(payload, problem, request_id=request_id)
 
     def submit(
         self, problem: LCLProblem, priority: str, deadline: Optional[float]
     ) -> PendingOutcome:
+        # The wire id is minted *before* the background thread sends the
+        # request: it is the handle a concurrent `cancel` (below) or `trace`
+        # addresses.  itertools.count makes reservation thread-safe.
+        request_id: Optional[Any] = None
+        cancel: Optional[Callable[[], bool]] = None
+        if self.config.obs:
+            request_id = self.client.reserve_request_id()
+            if self.config.mode == MODE_TCP:
+                # The session's own connection is busy carrying this very
+                # request, so cancellation travels on a short-lived second
+                # connection — exactly how the protocol intends `cancel`
+                # ("necessarily from another client").  stdio services have
+                # a single pipe pair: no second connection, no remote cancel.
+                reserved = request_id
+                cancel = lambda: self._cancel_over_second_connection(reserved)
         future: "Future[Outcome]" = Future()
 
         def run() -> None:
             try:
-                future.set_result(self.classify(problem, priority, deadline))
+                future.set_result(
+                    self.classify(problem, priority, deadline, request_id)
+                )
             except BaseException as error:  # noqa: BLE001 - ferried to waiter
                 future.set_exception(error)
 
@@ -408,7 +548,27 @@ class _RemoteDriver:
         return PendingOutcome(
             result=lambda timeout=None: future.result(timeout),
             done=future.done,
+            cancel=cancel,
+            request_id=request_id,
         )
+
+    def _cancel_over_second_connection(self, request_id: Any) -> bool:
+        try:
+            client = self._service_client.connect_tcp(
+                self.config.host, self.config.port
+            )
+        except OSError:
+            return False
+        try:
+            payload = client.cancel(request_id)
+        except (OSError, self._service_error):
+            return False
+        finally:
+            client.close()
+        # `found` — not the detach count — is the delivery signal: a cancel
+        # racing the target's fan-out can detach 0 submissions at response
+        # time yet still take effect (the server handles the late ones).
+        return bool(payload.get("found"))
 
     def iter_outcomes(
         self,
@@ -484,6 +644,12 @@ class _RemoteDriver:
 
     def stats(self) -> Dict[str, Any]:
         return self._call(self.client.stats)
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._call(self.client.metrics)
+
+    def trace(self, request_id: Any) -> Dict[str, Any]:
+        return self._call(lambda: self.client.trace(request_id))
 
     def cancel(self, request_id: Any) -> Dict[str, Any]:
         return self._call(lambda: self.client.cancel(request_id))
@@ -720,6 +886,32 @@ class ClassificationSession:
         payload = self._driver.stats()
         payload["endpoint"] = self.endpoint
         return payload
+
+    def metrics(self) -> Dict[str, Any]:
+        """The engine's metrics as a ``repro.metrics/1`` snapshot.
+
+        Local and remote sessions expose the *same* metric families (names,
+        types, labels) because both registries are built by the same
+        :func:`repro.obs.build_registry` — the parity tests assert the
+        fingerprints are equal.  Raises
+        :class:`~repro.api.errors.UnsupportedOperationError` on a local
+        session opened with ``obs=0``.
+        """
+        return self._driver.metrics()["snapshot"]
+
+    def metrics_text(self) -> str:
+        """The metrics rendered in the Prometheus text exposition format."""
+        return self._driver.metrics()["text"]
+
+    def trace(self, request_id: Any) -> Dict[str, Any]:
+        """Fetch a finished request's span tree by its request id.
+
+        Returns ``{"request_id", "found", "trace"}`` — ``found`` is false
+        when tracing is off (``REPRO_TRACE`` unset) or the retention ring
+        has evicted the id.  Request ids come from
+        :attr:`PendingOutcome.request_id` / :attr:`Outcome.request_id`.
+        """
+        return self._driver.trace(request_id)
 
     def cancel(self, request_id: Any) -> Dict[str, Any]:
         """Cancel an in-flight *remote* request by its id (remote sessions)."""

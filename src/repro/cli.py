@@ -19,6 +19,8 @@ Usage::
     python -m repro serve stdio:                        # service over stdin/stdout
     python -m repro client --connect localhost:8765 classify problem.txt
     python -m repro client --connect localhost:8765 warm --census --count 200 --wait
+    python -m repro metrics tcp://127.0.0.1:8765        # Prometheus text exposition
+    python -m repro client --connect localhost:8765 trace 17   # span tree by id
 
 Every subcommand is a thin user of :mod:`repro.api`: it opens a
 :class:`~repro.api.ClassificationSession` on an endpoint —
@@ -505,6 +507,23 @@ def _run_loadgen(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# metrics (Prometheus text exposition of any endpoint)
+# ----------------------------------------------------------------------
+def _print_metrics(session: ClassificationSession, as_json: bool) -> int:
+    if as_json:
+        print(json.dumps(session.metrics(), indent=2, sort_keys=True))
+        return 0
+    text = session.metrics_text()
+    sys.stdout.write(text if text.endswith("\n") else text + "\n")
+    return 0
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    with ClassificationSession.open(args.endpoint) as session:
+        return _print_metrics(session, args.json)
+
+
+# ----------------------------------------------------------------------
 # cache maintenance
 # ----------------------------------------------------------------------
 def _open_cache(args: argparse.Namespace) -> ClassificationCache:
@@ -750,6 +769,37 @@ def _client_stats(args: argparse.Namespace, session: ClassificationSession) -> i
                 f"p99 {search_times['p99_ms']:.1f} ms, "
                 f"max {search_times['max_ms']:.1f} ms"
             )
+    return 0
+
+
+def _client_metrics(args: argparse.Namespace, session: ClassificationSession) -> int:
+    return _print_metrics(session, args.json)
+
+
+def _client_trace(args: argparse.Namespace, session: ClassificationSession) -> int:
+    request_id = int(args.request_id) if args.request_id.isdigit() else args.request_id
+    payload = session.trace(request_id)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0 if payload["found"] else 1
+    if not payload["found"]:
+        print(
+            f"no finished trace for request {payload['request_id']} "
+            "(tracing off, still running, or evicted from the ring)"
+        )
+        return 1
+    trace = payload["trace"]
+    print(
+        f"request {trace['request_id']} ({trace['op']}): "
+        f"outcome {trace['outcome']}, {trace['duration_ms']:.1f} ms"
+    )
+    for span in trace["spans"]:
+        duration = span["duration_ms"]
+        length = "-" if duration is None else f"{duration:.1f} ms"
+        print(
+            f"  {span['name']:12s} [{span['stage']:9s}] "
+            f"{span['start_ms']:8.1f} ms  {length:>10s}  {span['status']}"
+        )
     return 0
 
 
@@ -1063,6 +1113,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen_parser.set_defaults(handler=_run_loadgen)
 
+    metrics_parser = subparsers.add_parser(
+        "metrics",
+        help="print an endpoint's metrics in the Prometheus text format",
+    )
+    metrics_parser.add_argument(
+        "endpoint",
+        help=(
+            "session endpoint to scrape (tcp://HOST:PORT for a running "
+            "service; local:// endpoints report a fresh engine)"
+        ),
+    )
+    metrics_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the repro.metrics/1 snapshot instead of the text format",
+    )
+    metrics_parser.set_defaults(handler=_run_metrics)
+
     cache_parser = subparsers.add_parser(
         "cache", help="inspect and maintain an on-disk classification cache"
     )
@@ -1191,6 +1259,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client_stats.add_argument("--json", action="store_true")
     client_stats.set_defaults(client_handler=_client_stats)
+
+    client_metrics = client_sub.add_parser(
+        "metrics", help="print the service's metrics in the Prometheus text format"
+    )
+    client_metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the repro.metrics/1 snapshot instead of the text format",
+    )
+    client_metrics.set_defaults(client_handler=_client_metrics)
+
+    client_trace = client_sub.add_parser(
+        "trace",
+        help="fetch a finished request's span tree by its wire request id",
+    )
+    client_trace.add_argument(
+        "request_id",
+        help="id of the finished request (numeric ids are matched as integers)",
+    )
+    client_trace.add_argument("--json", action="store_true")
+    client_trace.set_defaults(client_handler=_client_trace)
 
     client_shutdown = client_sub.add_parser(
         "shutdown", help="persist the service cache and stop the service"

@@ -82,12 +82,22 @@ class CancelToken:
         with a ``multiprocessing.Event`` for cross-process tokens).
     """
 
-    __slots__ = ("deadline", "_flag", "reason")
+    __slots__ = ("deadline", "_flag", "reason", "checkpoints", "started_at")
 
     def __init__(self, deadline: Optional[float] = None, flag: Any = None) -> None:
         self.deadline = deadline
         self._flag = flag if flag is not None else threading.Event()
         self.reason: Optional[str] = None
+        # Observability piggyback: the searches already poll this token at
+        # every checkpoint, so counting polls here gives the tracing layer a
+        # progress signal with **zero** new kernel plumbing.  `checkpoints`
+        # is bumped by the search thread only (exact per token, no lock);
+        # `started_at` is stamped by the worker backend when the search
+        # actually begins running (None until then, and it stays None inside
+        # a process backend's child — the parent token never sees the
+        # child's copy back).
+        self.checkpoints = 0
+        self.started_at: Optional[float] = None
 
     @classmethod
     def with_budget(cls, seconds: Optional[float]) -> "CancelToken":
@@ -123,6 +133,7 @@ class CancelToken:
         An explicit :meth:`cancel` wins over an expired deadline when both
         hold, except when the cancel itself recorded a timeout reason.
         """
+        self.checkpoints += 1
         if self._flag.is_set():
             if self.reason == TIMEOUT:
                 raise SearchTimeout(key=key)

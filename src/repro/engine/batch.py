@@ -256,15 +256,19 @@ class BatchClassifier:
         problem: LCLProblem,
         priority: str = DEFAULT_PRIORITY,
         deadline: Optional[float] = None,
+        trace: Optional[Any] = None,
     ) -> BatchItem:
         """Classify one problem through the cache, with provenance."""
-        return self.submit_item(problem, priority=priority, deadline=deadline).result()
+        return self.submit_item(
+            problem, priority=priority, deadline=deadline, trace=trace
+        ).result()
 
     def submit_item(
         self,
         problem: LCLProblem,
         priority: str = DEFAULT_PRIORITY,
         deadline: Optional[float] = None,
+        trace: Optional[Any] = None,
     ) -> PendingClassification:
         """Submit one problem for classification without waiting.
 
@@ -272,11 +276,15 @@ class BatchClassifier:
         as the scheduler admits it (ordered by ``priority``); concurrent
         submissions of the same renaming orbit share it.  ``deadline`` bounds
         this submission's total wait in seconds — on expiry the resulting
-        :class:`BatchItem` reports ``outcome="timeout"``.  Call
+        :class:`BatchItem` reports ``outcome="timeout"``.  ``trace`` (a
+        :class:`~repro.obs.trace.RequestTrace`, or the common ``None``)
+        receives the scheduler's span events for this submission.  Call
         :meth:`PendingClassification.result` to collect the translated item.
         """
         form = canonical_form(problem)
-        job = self.scheduler.submit(form, priority=priority, deadline=deadline)
+        job = self.scheduler.submit(
+            form, priority=priority, deadline=deadline, trace=trace
+        )
         with self._stats_lock:
             self.stats.submitted += 1
             if job.kind == JOB_SCHEDULED:

@@ -61,6 +61,10 @@ class RequestRecord:
     outcome: str = "error"
     from_cache: bool = False
     error_code: Optional[str] = None
+    # The tracing/wire request id the session assigned this submission
+    # (None with observability off).  Lets a report's slow exemplars be
+    # looked up as full span trees via `session.trace(request_id)`.
+    request_id: Optional[Any] = None
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -76,6 +80,7 @@ class RequestRecord:
             "outcome": self.outcome,
             "from_cache": self.from_cache,
             "error_code": self.error_code,
+            "request_id": self.request_id,
         }
 
 
@@ -141,11 +146,13 @@ class LoadDriver:
         started = time.perf_counter()
         record.started_at = started - run_start
         try:
-            outcome = session.submit(
+            pending = session.submit(
                 request.problem,
                 priority=request.priority,
                 deadline=request.deadline,
-            ).result()
+            )
+            record.request_id = pending.request_id
+            outcome = pending.result()
             record.outcome = outcome.outcome
             record.from_cache = outcome.from_cache
             record.error_code = outcome.error_code

@@ -36,10 +36,15 @@ def _percentile(sorted_ms: Sequence[float], q: float) -> float:
     return sorted_ms[rank - 1]
 
 
-def _latency_section(samples: List[float]) -> Dict[str, Any]:
-    if not samples:
+def _latency_section(records: List[RequestRecord]) -> Dict[str, Any]:
+    if not records:
         return {"count": 0}
-    ordered = sorted(samples)
+    ordered = sorted(record.latency_ms for record in records)
+    # The worst request travels *identified*: its request id (when the
+    # session ran with observability on) is directly feedable to
+    # `repro client trace` / `session.trace()` to pull the span tree
+    # behind the class's max latency.
+    worst = max(records, key=lambda record: record.latency_ms)
     return {
         "count": len(ordered),
         "mean": sum(ordered) / len(ordered),
@@ -48,6 +53,14 @@ def _latency_section(samples: List[float]) -> Dict[str, Any]:
         "p90": _percentile(ordered, 0.90),
         "p99": _percentile(ordered, 0.99),
         "max": ordered[-1],
+        "slowest": {
+            "request_id": worst.request_id,
+            "index": worst.index,
+            "key": worst.key,
+            "latency_ms": worst.latency_ms,
+            "session_index": worst.session_index,
+            "outcome": worst.outcome,
+        },
     }
 
 
@@ -69,12 +82,10 @@ def build_report(
     with_deadline = [r for r in records if r.deadline is not None]
     missed = sum(1 for r in with_deadline if r.outcome == "timeout")
     unique_keys = len({request.key for request in plan})
-    latency: Dict[str, Any] = {
-        "all": _latency_section([r.latency_ms for r in records])
-    }
+    latency: Dict[str, Any] = {"all": _latency_section(list(records))}
     for cls in LATENCY_CLASSES[1:]:
         latency[cls] = _latency_section(
-            [r.latency_ms for r in records if r.priority == cls]
+            [r for r in records if r.priority == cls]
         )
     error_codes: Dict[str, int] = {}
     for record in records:
@@ -173,10 +184,17 @@ def summarize_report(report: Dict[str, Any]) -> str:
         section = report["latency_ms"][cls]
         if not section["count"]:
             continue
+        slowest = section.get("slowest") or {}
+        traced = (
+            f" [slowest: request {slowest['request_id']}]"
+            if slowest.get("request_id") is not None
+            else ""
+        )
         lines.append(
             f"latency[{cls}]: p50 {section['p50']:.1f} ms, "
             f"p90 {section['p90']:.1f} ms, p99 {section['p99']:.1f} ms, "
             f"max {section['max']:.1f} ms ({section['count']} sample(s))"
+            + traced
         )
     slo = report.get("slo")
     if slo is not None:

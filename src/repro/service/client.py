@@ -153,8 +153,26 @@ class ServiceClient:
             raise ServiceError("connection-closed", "service closed the connection")
         return decode_frame(line)
 
-    def _send_request(self, op: str, params: Optional[Dict[str, Any]] = None) -> Any:
-        request = Request(id=next(self._ids), op=op, params=params or {})
+    def reserve_request_id(self) -> int:
+        """Mint the id the *next* request sent with it will carry.
+
+        Lets a caller learn a submission's wire id *before* sending it, so
+        the id can be handed to another connection's ``cancel``/``trace`` —
+        the mechanism behind remote ``PendingOutcome.cancel()``.
+        """
+        return next(self._ids)
+
+    def _send_request(
+        self,
+        op: str,
+        params: Optional[Dict[str, Any]] = None,
+        request_id: Optional[Any] = None,
+    ) -> Any:
+        request = Request(
+            id=request_id if request_id is not None else next(self._ids),
+            op=op,
+            params=params or {},
+        )
         self._write.write(encode_frame(request.to_frame()))
         self._write.flush()
         return request.id
@@ -174,13 +192,16 @@ class ServiceClient:
         op: str,
         params: Optional[Dict[str, Any]] = None,
         on_item: Optional[Callable[[Dict[str, Any]], None]] = None,
+        request_id: Optional[Any] = None,
     ) -> Dict[str, Any]:
         """Send one request; stream items to ``on_item``; return the terminal data.
 
-        Raises :class:`ServiceError` when the service answers with an error
-        frame.
+        ``request_id`` pins the wire id (normally auto-assigned) — pass a
+        value from :meth:`reserve_request_id` when another connection needs
+        to address this request.  Raises :class:`ServiceError` when the
+        service answers with an error frame.
         """
-        request_id = self._send_request(op, params)
+        request_id = self._send_request(op, params, request_id=request_id)
         for frame in self.frames(request_id):
             kind = frame.get("type")
             if kind == "item":
@@ -244,18 +265,20 @@ class ServiceClient:
         problem: Any,
         priority: Optional[str] = None,
         deadline_ms: Optional[float] = None,
+        request_id: Optional[Any] = None,
     ) -> Dict[str, Any]:
         """Classify one problem (text or serialized dict); return its payload.
 
         ``priority`` (``interactive``/``batch``/``warm``; the server defaults
         a bare classify to ``interactive``) and ``deadline_ms`` bound how the
         search is scheduled; a blown deadline returns a payload with
-        ``outcome: "timeout"`` and ``complexity: null``.
+        ``outcome: "timeout"`` and ``complexity: null``.  ``request_id`` pins
+        the wire id so another connection can ``cancel``/``trace`` this call.
         """
         params = self._scheduling_params(
             problem_params(problem), priority, deadline_ms
         )
-        return self.request("classify", params)
+        return self.request("classify", params, request_id=request_id)
 
     def classify_batch(
         self,
@@ -356,6 +379,18 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         """Service, cache, batch, and worker counters of the running service."""
         return self.request("stats")
+
+    def metrics(self) -> Dict[str, Any]:
+        """The service's metrics: ``{"snapshot": repro.metrics/1, "text": ...}``."""
+        return self.request("metrics")
+
+    def trace(self, request_id: Any) -> Dict[str, Any]:
+        """Fetch a finished request's span tree by its wire id.
+
+        Returns ``{"request_id", "found", "trace"}`` — ``found: false`` when
+        the server's tracing is off or its retention ring has evicted the id.
+        """
+        return self.request("trace", {"request_id": request_id})
 
     def shutdown(self) -> Dict[str, Any]:
         """Ask the service to persist its cache and exit."""

@@ -48,6 +48,13 @@ Version-2 clients remain wire-compatible: requests without the new fields
 behave exactly as protocol 2 (the extra ``outcome: "ok"`` item field and
 summary counters are additive).  Version 2 added ``warm``, the ``workers``
 stats section, and lock-free concurrent execution semantics.
+
+Still within version 3 (additive frames, no bump needed): the
+observability operations ``metrics`` (a ``repro.metrics/1`` snapshot plus
+its Prometheus text rendering) and ``trace`` (the finished ``repro.trace/1``
+span tree of ``params.request_id``, when the server's ring still holds it),
+and a ``trace`` section in the ``stats`` result.  Clients that never send
+the new ops see byte-identical behavior.
 """
 
 SERVICE_NAME = "repro-classifier"
@@ -59,6 +66,8 @@ OPERATIONS: Tuple[str, ...] = (
     "warm",
     "cancel",
     "stats",
+    "metrics",
+    "trace",
     "shutdown",
 )
 """Operations a server must implement, announced in the ``hello`` frame."""

@@ -55,6 +55,8 @@ from ..engine.batch import BatchClassifier, BatchItem, PendingClassification
 from ..engine.cache import ClassificationCache
 from ..engine.canonical import canonical_form
 from ..engine.serialization import problem_from_dict, result_to_dict
+from ..obs import build_registry, render_prometheus
+from ..obs.trace import RequestTrace, Tracer, new_request_id
 from ..problems.random_problems import random_problem
 from ..workers.backends import DEFAULT_WORKERS
 from ..workers.scheduler import PRIORITIES
@@ -170,6 +172,17 @@ class ClassificationService:
         self.scheduler.backend.probe()
         self.requests_served = 0
         self.started_at = time.monotonic()
+        # Observability: tracing is env-gated (REPRO_TRACE), the metrics
+        # registry is always wired (pull-based — it costs nothing until a
+        # `metrics` request collects it).  Same builder as the local session,
+        # which is what makes local-vs-remote metrics parity structural.
+        self.tracer = Tracer.from_env()
+        self.registry = build_registry(
+            self.classifier,
+            self.tracer,
+            lambda: self.requests_served,
+            self.started_at,
+        )
         # In-flight requests addressable by `cancel`, keyed by request id.
         # Ids are client-chosen, so several connections may reuse one id;
         # cancel then targets all of them.  Only touched on the loop thread.
@@ -189,6 +202,7 @@ class ClassificationService:
         priority: str = "interactive",
         deadline: Optional[float] = None,
         active: Optional[_ActiveRequest] = None,
+        trace: Optional[RequestTrace] = None,
     ) -> BatchItem:
         """Classify one problem off the event loop.
 
@@ -202,7 +216,7 @@ class ClassificationService:
         pending = await loop.run_in_executor(
             None,
             lambda: self.classifier.submit_item(
-                problem, priority=priority, deadline=deadline
+                problem, priority=priority, deadline=deadline, trace=trace
             ),
         )
         if active is not None:
@@ -285,11 +299,25 @@ class ClassificationService:
             request.params, default_priority="interactive"
         )
         problem = self._resolve_problem(spec, default_name="<request>")
-        with self._track_active(request) as active:
-            item = await self._classify(
-                problem, priority=priority, deadline=deadline, active=active
-            )
-        await send(result_frame(request.id, item_payload(item)))
+        # The trace is keyed by the *wire* request id, so the client that
+        # sent this frame can fetch its span tree back with the `trace` op.
+        trace = self.tracer.start("classify", request_id=request.id)
+        try:
+            with self._track_active(request) as active:
+                item = await self._classify(
+                    problem,
+                    priority=priority,
+                    deadline=deadline,
+                    active=active,
+                    trace=trace,
+                )
+            await send(result_frame(request.id, item_payload(item)))
+        except BaseException:
+            if trace is not None:
+                trace.finish("error")
+            raise
+        if trace is not None:
+            trace.finish(item.outcome)
         if item.ok and not item.from_cache:  # a hit/timeout adds nothing to save
             self._save_cache()
 
@@ -334,6 +362,18 @@ class ClassificationService:
             else:
                 hits += int(item.from_cache)
 
+        # Per-item traces under sub-ids "<request id>.<seq>", so any item of
+        # a batch/census is individually retrievable via the `trace` op.
+        traces: List[Optional[RequestTrace]]
+        if self.tracer.enabled:
+            base = request.id if request.id is not None else new_request_id()
+            traces = [
+                self.tracer.start(request.op, request_id=f"{base}.{seq}")
+                for seq in range(len(problems))
+            ]
+        else:
+            traces = [None] * len(problems)
+
         if self.scheduler.backend.synchronous:
             for seq, problem in enumerate(problems):
                 if active.cancel_requested:
@@ -346,18 +386,24 @@ class ClassificationService:
                     )
                 else:
                     item = await self._classify(
-                        problem, priority=priority, deadline=deadline, active=active
+                        problem,
+                        priority=priority,
+                        deadline=deadline,
+                        active=active,
+                        trace=traces[seq],
                     )
                 tally(item)
                 await send(item_frame(request.id, seq, item_payload(item)))
+                if traces[seq] is not None:
+                    traces[seq].finish(item.outcome)
         else:
             pendings = await loop.run_in_executor(
                 None,
                 lambda: [
                     self.classifier.submit_item(
-                        problem, priority=priority, deadline=deadline
+                        problem, priority=priority, deadline=deadline, trace=trace
                     )
-                    for problem in problems
+                    for problem, trace in zip(problems, traces)
                 ],
             )
             active.pendings.extend(pendings)
@@ -369,6 +415,8 @@ class ClassificationService:
                 item = await loop.run_in_executor(None, pending.result)
                 tally(item)
                 await send(item_frame(request.id, seq, item_payload(item)))
+                if traces[seq] is not None:
+                    traces[seq].finish(item.outcome)
         count = len(problems)
         # One denominator for the whole hit/miss story: the *completed*
         # items.  Interrupted items are neither hits nor misses, so
@@ -585,8 +633,41 @@ class ClassificationService:
     async def _handle_stats(self, request: Request, send: _SendFrame) -> None:
         await send(result_frame(request.id, self.stats_payload()))
 
+    async def _handle_metrics(self, request: Request, send: _SendFrame) -> None:
+        """The ``repro.metrics/1`` snapshot plus its Prometheus rendering.
+
+        Both shapes travel in one frame so scrapers take the ``text`` field
+        verbatim while programmatic clients keep the structured snapshot —
+        and the local session renders the *same* snapshot through the *same*
+        function, which the parity test pins.
+        """
+        snapshot = self.registry.snapshot()
+        await send(
+            result_frame(
+                request.id,
+                {"snapshot": snapshot, "text": render_prometheus(snapshot)},
+            )
+        )
+
+    async def _handle_trace(self, request: Request, send: _SendFrame) -> None:
+        """Fetch the finished span tree of ``params.request_id``, if retained."""
+        target = request.params.get("request_id")
+        if target is None:
+            raise ProtocolError(ERROR_BAD_REQUEST, "trace requires params.request_id")
+        if not isinstance(target, (str, int)):
+            raise ProtocolError(
+                ERROR_BAD_REQUEST, "trace params.request_id must be a string or integer"
+            )
+        doc = self.tracer.get(target)
+        await send(
+            result_frame(
+                request.id,
+                {"request_id": target, "found": doc is not None, "trace": doc},
+            )
+        )
+
     def stats_payload(self) -> Dict[str, Any]:
-        """The ``stats`` response: service, cache, batch, and worker counters."""
+        """The ``stats`` response: service, cache, batch, worker, trace counters."""
         return {
             "service": {
                 "requests_served": self.requests_served,
@@ -600,6 +681,7 @@ class ClassificationService:
             },
             "batch": self.classifier.stats.as_dict(),
             "workers": self.scheduler.stats_payload(),
+            "trace": self.tracer.as_dict(),
         }
 
     async def _handle_shutdown(self, request: Request, send: _SendFrame) -> None:
@@ -614,6 +696,8 @@ class ClassificationService:
         "warm": _handle_warm,
         "cancel": _handle_cancel,
         "stats": _handle_stats,
+        "metrics": _handle_metrics,
+        "trace": _handle_trace,
         "shutdown": _handle_shutdown,
     }
 
@@ -706,6 +790,7 @@ class ClassificationService:
             # cache; save again so they reach the file too.
             self.classifier.close()
             self._save_cache()
+            self.tracer.close()
 
     async def serve_tcp(
         self,
@@ -748,6 +833,7 @@ class ClassificationService:
             # save again so shutdown loses nothing.
             self.classifier.close()
             self._save_cache()
+            self.tracer.close()
 
     async def _handle_tcp_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter

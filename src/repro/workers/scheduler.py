@@ -88,6 +88,7 @@ from ..engine.serialization import (
     relabel_result,
     result_to_dict,
 )
+from ..obs.trace import RequestTrace, STAGE_BACKEND, STAGE_KERNEL, STAGE_SCHEDULER
 from .backends import InlineBackend, TaskHandle, WorkerBackend
 from .metrics import SearchTimeStats
 
@@ -184,15 +185,28 @@ class SchedulerStats:
 
 
 class _Waiter:
-    """One submission waiting on a flight: its own future and deadline."""
+    """One submission waiting on a flight: its own future and deadline.
 
-    __slots__ = ("future", "deadline", "flight", "seq")
+    ``trace`` is the submission's :class:`RequestTrace` (or ``None`` — the
+    overwhelmingly common case): traces belong to *submissions*, not
+    flights, so every client sharing one single-flight search still gets
+    its own span tree.
+    """
 
-    def __init__(self, flight: "_Flight", deadline: Optional[float], seq: int) -> None:
+    __slots__ = ("future", "deadline", "flight", "seq", "trace")
+
+    def __init__(
+        self,
+        flight: "_Flight",
+        deadline: Optional[float],
+        seq: int,
+        trace: Optional[RequestTrace] = None,
+    ) -> None:
         self.future: "Future[Dict[str, Any]]" = Future()
         self.deadline = deadline  # absolute monotonic, or None
         self.flight = flight
         self.seq = seq
+        self.trace = trace
 
 
 class _Flight:
@@ -372,13 +386,17 @@ class ClassificationScheduler:
         form: CanonicalForm,
         priority: str = DEFAULT_PRIORITY,
         deadline: Optional[float] = None,
+        trace: Optional[RequestTrace] = None,
     ) -> ClassificationJob:
         """Submit one canonical form; dedupe against cache and in-flight work.
 
         ``priority`` is one of :data:`PRIORITIES`; ``deadline`` is a budget in
         seconds covering this submission's queue wait plus search time.
-        Returns immediately in every case; only ``kind == "scheduled"`` jobs
-        put new work on the backend.
+        ``trace`` (when given) receives this submission's scheduler spans —
+        ``queued``/``admitted``/``search``/``cache-write``/``reply`` — as the
+        flight progresses; the common ``trace=None`` case costs one ``is
+        None`` test per event site.  Returns immediately in every case; only
+        ``kind == "scheduled"`` jobs put new work on the backend.
         """
         rank = PRIORITY_RANK[validate_priority(priority)]
         key = form.key
@@ -390,19 +408,38 @@ class ClassificationScheduler:
                 self.stats.cache_hits += 1
                 future: "Future[Dict[str, Any]]" = Future()
                 future.set_result(payload)
+                if trace is not None:
+                    trace.mark(
+                        "reply",
+                        STAGE_SCHEDULER,
+                        attrs={"key": key, "from_cache": True},
+                    )
                 return ClassificationJob(
                     key=key, future=future, kind=JOB_CACHE_HIT, priority=priority
                 )
             flight = self._in_flight.get(key)
             if flight is not None:
                 self.stats.deduped += 1
-                waiter = _Waiter(flight, deadline_at, next(self._seq))
+                waiter = _Waiter(flight, deadline_at, next(self._seq), trace)
                 flight.waiters.append(waiter)
                 if flight.state == _QUEUED and rank < flight.rank:
                     # A more urgent duplicate escalates the queued search;
                     # the stale heap entry is skipped when popped.
                     flight.rank = rank
                     heapq.heappush(self._ready, (rank, flight.seq, flight))
+                if trace is not None:
+                    shared_attrs = {"key": key, "priority": priority, "shared": True}
+                    if flight.state == _RUNNING:
+                        # Joined a search already on the backend: this
+                        # submission never queues, it goes straight to
+                        # waiting on the running search.
+                        trace.begin(
+                            "search",
+                            STAGE_BACKEND,
+                            attrs={**shared_attrs, "backend": self.backend.name},
+                        )
+                    else:
+                        trace.begin("queued", STAGE_SCHEDULER, attrs=shared_attrs)
                 kind = JOB_SHARED
             else:
                 # The token is a pure cancel flag: per-submission deadlines
@@ -418,13 +455,19 @@ class ClassificationScheduler:
                     seq=seq,
                 )
                 flight.killable = deadline is not None
-                waiter = _Waiter(flight, deadline_at, seq)
+                waiter = _Waiter(flight, deadline_at, seq, trace)
                 flight.waiters.append(waiter)
                 self._in_flight[key] = flight
                 heapq.heappush(self._ready, (rank, seq, flight))
                 self.stats.flights += 1
                 new_flight = flight
                 kind = JOB_SCHEDULED
+                if trace is not None:
+                    trace.begin(
+                        "queued",
+                        STAGE_SCHEDULER,
+                        attrs={"key": key, "priority": priority},
+                    )
         if waiter.deadline is not None:
             if waiter.deadline <= time.monotonic():
                 # Already expired at submit time: resolve deterministically
@@ -464,6 +507,7 @@ class ClassificationScheduler:
             with self._lock:
                 self._pump_requests = 0
                 batch: List[_Flight] = []
+                traced: List[List[RequestTrace]] = []
                 while self._ready and self._slots_used < self.backend.workers:
                     _rank, _seq, flight = heapq.heappop(self._ready)
                     if flight.state != _QUEUED:
@@ -473,7 +517,24 @@ class ClassificationScheduler:
                     self._slots_used += 1
                     self.stats.scheduled += 1
                     batch.append(flight)
-            for flight in batch:
+                    # Snapshot traces in the same critical section that flips
+                    # the state: a shared waiter joining after this sees
+                    # _RUNNING and opens its own "search" span directly.
+                    traced.append(
+                        [w.trace for w in flight.waiters if w.trace is not None]
+                    )
+            for flight, traces in zip(batch, traced):
+                for trace in traces:
+                    trace.end("queued")
+                    trace.mark("admitted", STAGE_SCHEDULER)
+                    trace.begin(
+                        "search",
+                        STAGE_BACKEND,
+                        attrs={
+                            "backend": self.backend.name,
+                            "killable": flight.killable,
+                        },
+                    )
                 self._dispatch(flight)
             with self._lock:
                 if self._pump_requests == 0:
@@ -557,6 +618,7 @@ class ClassificationScheduler:
                     waiters, flight.waiters = flight.waiters, []
             # else: a zombie completing after cancellation — its waiters were
             # already resolved and its slot already released at cancel time.
+        store_span: Optional[Tuple[float, float]] = None
         if claimed and error is None:
             self.search_times.record(
                 flight.key, payload.get("elapsed_seconds", 0.0)
@@ -566,12 +628,26 @@ class ClassificationScheduler:
             # (briefly both), never neither — so single flight stays exact —
             # and an autosaving cache's disk write cannot stall every other
             # submission on our mutex.
+            store_start = time.monotonic()
             self.cache.store(flight.key, payload)
+            store_span = (store_start, time.monotonic())
             with self._lock:
                 if self._in_flight.get(flight.key) is flight:
                     del self._in_flight[flight.key]
                 waiters, flight.waiters = flight.waiters, []
+        if error is None:
+            trace_status = "ok"
+        elif isinstance(error, SearchTimeout):
+            trace_status = TIMEOUT
+        elif isinstance(error, (SearchCancelled, CancelledError)):
+            trace_status = CANCELLED
+        else:
+            trace_status = "error"
         for waiter in waiters:
+            if waiter.trace is not None:
+                self._trace_settled(
+                    waiter.trace, flight, trace_status, payload, store_span
+                )
             if waiter.future.done():
                 continue
             if error is None:
@@ -579,6 +655,45 @@ class ClassificationScheduler:
             else:
                 waiter.future.set_exception(error)
         self._pump()
+
+    def _trace_settled(
+        self,
+        trace: RequestTrace,
+        flight: _Flight,
+        status: str,
+        payload: Optional[Dict[str, Any]],
+        store_span: Optional[Tuple[float, float]],
+    ) -> None:
+        """Emit one settled submission's kernel/search/cache-write/reply spans.
+
+        The ``kernel`` span is derived retroactively from the payload's
+        ``elapsed_seconds`` — the searches measure themselves already, so the
+        pure decision-procedure time needs no new kernel plumbing.  The
+        ``checkpoints`` attribute reads the flight token's poll counter (it
+        stays 0 for searches that ran inside a process backend's child, whose
+        token copy never crosses back).  The ``reply`` mark lands *before*
+        the waiter future resolves, so a client thread racing to
+        ``finish()`` the trace can never miss it.
+        """
+        search_end = trace.now_ms()
+        if payload is not None:
+            kernel_ms = float(payload.get("elapsed_seconds", 0.0)) * 1000.0
+            trace.add(
+                "kernel",
+                STAGE_KERNEL,
+                start_ms=max(0.0, search_end - kernel_ms),
+                end_ms=search_end,
+                parent="search",
+            )
+        trace.end("search", status, attrs={"checkpoints": flight.token.checkpoints})
+        if store_span is not None:
+            trace.add(
+                "cache-write",
+                STAGE_SCHEDULER,
+                start_ms=trace.at_ms(store_span[0]),
+                end_ms=trace.at_ms(store_span[1]),
+            )
+        trace.mark("reply", STAGE_SCHEDULER, attrs={"from_cache": False})
 
     # ------------------------------------------------------------------
     # Cancellation and deadlines
@@ -782,20 +897,40 @@ class ClassificationScheduler:
         with self._lock:
             return self._slots_used
 
-    def stats_payload(self) -> Dict[str, Any]:
-        """Live scheduler + backend report (the ``workers`` stats section)."""
+    def _gauges_locked(self) -> Dict[str, int]:
+        in_flight = len(self._in_flight)
+        running = sum(
+            1 for flight in self._in_flight.values() if flight.state == _RUNNING
+        )
+        return {
+            "in_flight": in_flight,
+            "queued": in_flight - running,
+            "slots_in_use": self._slots_used,
+        }
+
+    def gauges(self) -> Dict[str, int]:
+        """The live occupancy gauges, read in one lock acquisition."""
         with self._lock:
-            in_flight = len(self._in_flight)
-            slots = self._slots_used
-            queued = in_flight - sum(
-                1 for flight in self._in_flight.values() if flight.state == _RUNNING
-            )
+            return self._gauges_locked()
+
+    def stats_payload(self) -> Dict[str, Any]:
+        """Live scheduler + backend report (the ``workers`` stats section).
+
+        Counters and gauges are read under a **single** lock acquisition —
+        every mutation of :attr:`stats` happens inside the same lock — so a
+        snapshot can never observe the conservation invariants
+        (``finished == completed + failed + cancelled + timeouts``,
+        ``submitted == flights + deduped + cache_hits``) mid-update, no
+        matter how hard concurrent completions hammer the scheduler.
+        """
+        with self._lock:
+            counters = self.stats.as_dict()
+            gauges = self._gauges_locked()
         workers = self.backend.workers
         payload = self.backend.describe()
-        payload.update(self.stats.as_dict())
-        payload["in_flight"] = in_flight
-        payload["queued"] = queued
-        payload["slots_in_use"] = slots
+        payload.update(counters)
+        payload.update(gauges)
+        slots = gauges["slots_in_use"]
         payload["utilization"] = min(1.0, slots / workers) if workers else 0.0
         payload["priorities"] = list(PRIORITIES)
         payload["search_times"] = self.search_times.as_dict()
