@@ -1,0 +1,194 @@
+"""Cache-backend persistence benchmark and CI perf-smoke gate.
+
+Measures the cost of persisting **one** store into an already-populated
+cache — the write-behind unit of work — for the ``json`` and ``sqlite``
+backends at two populations (500 and 5000 entries).  This is the scaling
+property the sqlite tier exists for:
+
+* ``json`` rewrites the whole snapshot on every flush, so per-store
+  persistence cost grows linearly with cache size;
+* ``sqlite`` upserts only the dirty row inside one WAL transaction, so the
+  cost is (near-)constant in cache size.
+
+The committed trajectory file is ``BENCH_cache.json`` at the repo root.
+Two numbers are gated:
+
+* ``sqlite_scaling`` — sqlite per-flush time at 5000 entries over 500
+  entries.  Must stay below 3.0 (sublinear; measured ~1x).
+* ``sqlite_advantage`` — json per-flush time over sqlite per-flush time,
+  both at 5000 entries.  Must exceed 2.0 (measured well above 10x).
+
+Usage::
+
+    # Measure and write the trajectory file:
+    PYTHONPATH=src python benchmarks/bench_cache_backends.py --write BENCH_cache.json
+
+    # CI gate: re-measure and fail (exit 3) when either bound is violated:
+    PYTHONPATH=src python benchmarks/bench_cache_backends.py --gate BENCH_cache.json
+
+Flush timings ride the filesystem, so each (backend, size) cell reports the
+**median** of per-flush samples — robust against one slow fsync or a dirty
+page-cache moment — and the gate compares medians, not tails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine.cache import ClassificationCache  # noqa: E402
+
+SCHEMA = "repro.cache-bench/1"
+SIZES = (500, 5000)
+BACKENDS = ("json", "sqlite")
+
+#: A representative serialized classification result (modest payload).
+ENTRY = {
+    "complexity": "CONSTANT",
+    "certificate": {"kind": "fixed-point", "labels": ["a", "b", "c"]},
+    "elapsed_ms": 0.42,
+}
+
+
+def _median(values: list) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _populated_cache(backend: str, size: int, workdir: Path) -> ClassificationCache:
+    suffix = "json" if backend == "json" else "db"
+    url = f"{backend}:{workdir / f'bench-{backend}-{size}.{suffix}'}"
+    cache = ClassificationCache(path=url)
+    for index in range(size):
+        cache.store(f"seed-{index}", ENTRY)
+    cache.save()
+    return cache
+
+
+def _per_flush_seconds(cache: ClassificationCache, samples: int) -> float:
+    timings = []
+    for index in range(samples):
+        cache.store(f"probe-{index}", ENTRY)
+        start = time.perf_counter()
+        cache.flush()
+        timings.append(time.perf_counter() - start)
+    return _median(timings)
+
+
+def measure(samples: int) -> dict:
+    per_flush_us: dict = {backend: {} for backend in BACKENDS}
+    with tempfile.TemporaryDirectory(prefix="repro-cache-bench-") as tmp:
+        workdir = Path(tmp)
+        for backend in BACKENDS:
+            for size in SIZES:
+                cache = _populated_cache(backend, size, workdir)
+                try:
+                    seconds = _per_flush_seconds(cache, samples)
+                finally:
+                    cache.close(save=False)
+                per_flush_us[backend][str(size)] = round(seconds * 1e6, 3)
+
+    small, large = (str(size) for size in SIZES)
+    return {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "samples": samples,
+        "sizes": list(SIZES),
+        "per_flush_us": per_flush_us,
+        "sqlite_scaling": round(
+            per_flush_us["sqlite"][large] / per_flush_us["sqlite"][small], 3
+        ),
+        "sqlite_advantage": round(
+            per_flush_us["json"][large] / per_flush_us["sqlite"][large], 3
+        ),
+    }
+
+
+def gate(committed_path: Path, samples: int, max_scaling: float,
+         min_advantage: float) -> int:
+    committed = json.loads(committed_path.read_text())
+    if committed.get("schema") != SCHEMA:
+        print(f"gate: unexpected schema in {committed_path}", file=sys.stderr)
+        return 2
+    report = measure(samples)
+    print(
+        f"gate: sqlite per-flush scaling {report['sqlite_scaling']:.2f}x "
+        f"across {SIZES[0]}->{SIZES[1]} entries (ceiling {max_scaling:.1f}x, "
+        f"committed {committed['sqlite_scaling']:.2f}x); "
+        f"sqlite advantage over json at {SIZES[1]} entries "
+        f"{report['sqlite_advantage']:.2f}x (floor {min_advantage:.1f}x); "
+        f"per-flush {report['per_flush_us']}"
+    )
+    failed = False
+    if report["sqlite_scaling"] > max_scaling:
+        print(
+            f"gate: FAIL — sqlite per-store persistence scaled "
+            f"{report['sqlite_scaling']:.2f}x from {SIZES[0]} to {SIZES[1]} "
+            f"entries (ceiling {max_scaling:.1f}x): flushes are no longer "
+            f"sublinear in cache size",
+            file=sys.stderr,
+        )
+        failed = True
+    if report["sqlite_advantage"] < min_advantage:
+        print(
+            f"gate: FAIL — sqlite per-flush advantage over json at "
+            f"{SIZES[1]} entries is {report['sqlite_advantage']:.2f}x "
+            f"(floor {min_advantage:.1f}x)",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
+        return 3
+    print("gate: OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--samples", type=int, default=15,
+        help="flush timings per (backend, size) cell; median wins (default: 15)",
+    )
+    parser.add_argument(
+        "--write", type=Path, metavar="FILE",
+        help="write the measured repro.cache-bench/1 report to FILE",
+    )
+    parser.add_argument(
+        "--gate", type=Path, metavar="FILE",
+        help="gate mode: re-measure and enforce both perf bounds",
+    )
+    parser.add_argument(
+        "--max-scaling", type=float, default=3.0,
+        help="sqlite per-flush 5000/500 ratio ceiling in gate mode (default: 3)",
+    )
+    parser.add_argument(
+        "--min-advantage", type=float, default=2.0,
+        help="json/sqlite per-flush ratio floor at 5000 entries (default: 2)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.gate is not None:
+        return gate(args.gate, args.samples, args.max_scaling, args.min_advantage)
+
+    report = measure(args.samples)
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.write is not None:
+        args.write.write_text(text)
+        print(f"wrote {args.write}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

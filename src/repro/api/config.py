@@ -17,9 +17,24 @@ endpoints travel well through CLIs, env vars, and config files:
 ``stdio:``
     A private ``python -m repro serve --stdio`` subprocess over its pipes.
 
-Query parameters shared by the ``local``/``stdio`` modes: ``cache=FILE``
-(persistent result cache) and ``cache_max_entries=N`` (LRU budget).  All
-modes accept ``priority`` and ``deadline`` (seconds) as session-wide
+Cache query parameters (shared by every mode — on ``tcp`` they configure
+the *server* when the endpoint is handed to ``repro serve``):
+
+``cache=URL``
+    Persistent result cache.  The value is a cache URL selecting the
+    durable backend (:mod:`repro.engine.backends`): a bare path or
+    ``json:path`` for the single-file JSON format, ``sqlite:path`` for the
+    WAL-mode SQLite store, ``memory:`` for none.
+``cache_max_entries=N``
+    LRU budget.
+``cache_ttl=SECONDS``
+    Entry time-to-live; expired entries count as misses.
+``cache_flush_interval=SECONDS`` / ``cache_flush_count=N``
+    Write-behind thresholds: dirty entries are persisted in the background
+    once ``N`` keys are pending or ``SECONDS`` have elapsed, instead of on
+    every store.
+
+All modes accept ``priority`` and ``deadline`` (seconds) as session-wide
 scheduling defaults, and ``obs=0`` to bypass the observability layer
 (request ids, metrics registry, tracer) entirely.  Anything unrecognized
 raises
@@ -33,6 +48,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, Optional
 from urllib.parse import parse_qsl, urlsplit
 
+from ..engine.backends import parse_cache_url
 from ..workers.backends import BACKEND_NAMES
 from ..workers.scheduler import PRIORITIES
 from .errors import EndpointError
@@ -49,10 +65,17 @@ _COMMON_QUERY_KEYS = ("priority", "deadline", "obs")
 # tcp endpoints accept cache parameters too: when a tcp endpoint is handed
 # to `repro serve` it describes the *server*, whose cache they configure.
 # A connecting session ignores them (the cache lives server-side).
+_CACHE_QUERY_KEYS = (
+    "cache",
+    "cache_max_entries",
+    "cache_ttl",
+    "cache_flush_interval",
+    "cache_flush_count",
+)
 _QUERY_KEYS = {
-    MODE_LOCAL: ("workers", "cache", "cache_max_entries") + _COMMON_QUERY_KEYS,
-    MODE_TCP: ("retries", "cache", "cache_max_entries") + _COMMON_QUERY_KEYS,
-    MODE_STDIO: ("cache", "cache_max_entries") + _COMMON_QUERY_KEYS,
+    MODE_LOCAL: ("workers",) + _CACHE_QUERY_KEYS + _COMMON_QUERY_KEYS,
+    MODE_TCP: ("retries",) + _CACHE_QUERY_KEYS + _COMMON_QUERY_KEYS,
+    MODE_STDIO: _CACHE_QUERY_KEYS + _COMMON_QUERY_KEYS,
 }
 
 
@@ -75,7 +98,13 @@ class SessionConfig:
     retries:
         TCP mode: connection attempts before giving up (0.25 s apart).
     cache_path, cache_max_entries:
-        Local/stdio modes: persistent result cache file and LRU budget.
+        Persistent result cache URL (bare path / ``json:`` / ``sqlite:`` /
+        ``memory:``) and LRU budget.
+    cache_ttl:
+        Optional entry time-to-live in seconds.
+    cache_flush_interval, cache_flush_count:
+        Optional write-behind thresholds (seconds between background
+        flushes / pending dirty keys that trigger one).
     default_priority, default_deadline:
         Session-wide scheduling defaults applied when a call does not pass
         its own ``priority``/``deadline``.
@@ -95,6 +124,9 @@ class SessionConfig:
     retries: int = 0
     cache_path: Optional[str] = None
     cache_max_entries: Optional[int] = None
+    cache_ttl: Optional[float] = None
+    cache_flush_interval: Optional[float] = None
+    cache_flush_count: Optional[int] = None
     default_priority: Optional[str] = None
     default_deadline: Optional[float] = None
     obs: bool = True
@@ -120,6 +152,17 @@ class SessionConfig:
             )
         if self.default_deadline is not None and self.default_deadline <= 0:
             raise EndpointError("deadline must be positive seconds")
+        if self.cache_path is not None:
+            try:
+                parse_cache_url(self.cache_path)
+            except ValueError as error:
+                raise EndpointError(f"bad cache URL: {error}") from None
+        if self.cache_ttl is not None and self.cache_ttl <= 0:
+            raise EndpointError("cache_ttl must be positive seconds")
+        if self.cache_flush_interval is not None and self.cache_flush_interval <= 0:
+            raise EndpointError("cache_flush_interval must be positive seconds")
+        if self.cache_flush_count is not None and self.cache_flush_count < 1:
+            raise EndpointError("cache_flush_count must be >= 1")
 
     # ------------------------------------------------------------------
     # URL form
@@ -141,6 +184,12 @@ class SessionConfig:
             query["cache"] = self.cache_path
         if self.cache_max_entries is not None:
             query["cache_max_entries"] = self.cache_max_entries
+        if self.cache_ttl is not None:
+            query["cache_ttl"] = self.cache_ttl
+        if self.cache_flush_interval is not None:
+            query["cache_flush_interval"] = self.cache_flush_interval
+        if self.cache_flush_count is not None:
+            query["cache_flush_count"] = self.cache_flush_count
         if self.default_priority is not None:
             query["priority"] = self.default_priority
         if self.default_deadline is not None:
@@ -241,6 +290,13 @@ def parse_endpoint(endpoint: str) -> SessionConfig:
         "default_priority": params.get("priority"),
         "default_deadline": _float_param(params, "deadline", endpoint),
         "obs": _bool_param(params, "obs", endpoint, default=True),
+        "cache_path": params.get("cache"),
+        "cache_max_entries": _int_param(params, "cache_max_entries", endpoint),
+        "cache_ttl": _float_param(params, "cache_ttl", endpoint),
+        "cache_flush_interval": _float_param(
+            params, "cache_flush_interval", endpoint
+        ),
+        "cache_flush_count": _int_param(params, "cache_flush_count", endpoint),
     }
     if mode == MODE_LOCAL:
         backend = parts.netloc or parts.path.strip("/")
@@ -253,8 +309,6 @@ def parse_endpoint(endpoint: str) -> SessionConfig:
             mode=MODE_LOCAL,
             backend=backend,
             workers=_int_param(params, "workers", endpoint),
-            cache_path=params.get("cache"),
-            cache_max_entries=_int_param(params, "cache_max_entries", endpoint),
             **common,
         )
     if mode == MODE_TCP:
@@ -269,17 +323,10 @@ def parse_endpoint(endpoint: str) -> SessionConfig:
             host=parts.hostname,
             port=port if port is not None else DEFAULT_TCP_PORT,
             retries=_int_param(params, "retries", endpoint) or 0,
-            cache_path=params.get("cache"),
-            cache_max_entries=_int_param(params, "cache_max_entries", endpoint),
             **common,
         )
     # stdio: — tolerate both "stdio:" and "stdio://" spellings.
-    return SessionConfig(
-        mode=MODE_STDIO,
-        cache_path=params.get("cache"),
-        cache_max_entries=_int_param(params, "cache_max_entries", endpoint),
-        **common,
-    )
+    return SessionConfig(mode=MODE_STDIO, **common)
 
 
 __all__ = [

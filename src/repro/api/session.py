@@ -204,9 +204,17 @@ class _LocalDriver:
 
     def __init__(self, config: SessionConfig) -> None:
         cache: Optional[ClassificationCache] = None
-        if config.cache_path or config.cache_max_entries is not None:
+        if (
+            config.cache_path
+            or config.cache_max_entries is not None
+            or config.cache_ttl is not None
+        ):
             cache = ClassificationCache(
-                path=config.cache_path, max_entries=config.cache_max_entries
+                path=config.cache_path,
+                max_entries=config.cache_max_entries,
+                ttl_seconds=config.cache_ttl,
+                flush_interval=config.cache_flush_interval,
+                flush_max_dirty=config.cache_flush_count,
             )
         self.classifier = BatchClassifier(
             cache=cache, backend=config.backend, workers=config.workers
@@ -375,14 +383,10 @@ class _LocalDriver:
         return summary
 
     def stats(self) -> Dict[str, Any]:
-        cache = self.classifier.cache
         payload = {
-            "cache": {
-                "entries": len(cache),
-                "max_entries": cache.max_entries,
-                "path": cache.path,
-                **cache.stats.as_dict(),
-            },
+            # cache.info() is the one source of the cache-section shape, so
+            # local and remote stats expose identical fields by construction.
+            "cache": self.classifier.cache.info(),
             "batch": self.classifier.stats.as_dict(),
             "workers": self.classifier.scheduler.stats_payload(),
         }
@@ -423,8 +427,9 @@ class _LocalDriver:
     def close(self) -> None:
         cache = self.classifier.cache
         self.classifier.close()
-        if cache.path:
-            cache.save()
+        # cache.close() persists everything outstanding (full snapshot when
+        # a durable path is configured) and stops the write-behind flusher.
+        cache.close()
         self.tracer.close()
 
 

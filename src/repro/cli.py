@@ -82,6 +82,7 @@ from .api.config import MODE_STDIO, MODE_TCP
 from .core.classifier import classify_with_certificates
 from .core.parser import parse_problem
 from .core.problem import LCLError, LCLProblem
+from .engine.backends import parse_cache_url, parse_snapshot_text
 from .engine.cache import ClassificationCache
 from .engine.serialization import problem_to_dict
 from .loadgen.driver import DEFAULT_MAX_IN_FLIGHT
@@ -179,6 +180,9 @@ def _local_config(args: argparse.Namespace) -> SessionConfig:
         workers=workers,
         cache_path=getattr(args, "cache", None),
         cache_max_entries=getattr(args, "cache_max_entries", None),
+        cache_ttl=getattr(args, "cache_ttl", None),
+        cache_flush_interval=getattr(args, "cache_flush_interval", None),
+        cache_flush_count=getattr(args, "cache_flush_count", None),
     )
 
 
@@ -526,26 +530,46 @@ def _run_metrics(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # cache maintenance
 # ----------------------------------------------------------------------
-def _open_cache(args: argparse.Namespace) -> ClassificationCache:
-    if not os.path.exists(args.cache):
-        raise LCLError(f"cache file {args.cache!r} does not exist")
-    return ClassificationCache(path=args.cache, max_entries=args.cache_max_entries)
+def _open_cache(
+    args: argparse.Namespace, require_exists: bool = True
+) -> ClassificationCache:
+    """Open ``--cache`` for maintenance: no quarantine, clear errors.
+
+    ``--cache`` is a cache URL (bare path, ``json:FILE``, ``sqlite:FILE``).
+    A corrupt store surfaces as a one-line ``error:`` via
+    :class:`~repro.engine.backends.CacheCorruptionError` (a ``ValueError``)
+    instead of being quarantined — inspection commands must never move the
+    file they were pointed at.
+    """
+    _, location = parse_cache_url(args.cache)
+    if location is None:
+        raise LCLError(
+            f"cache URL {args.cache!r} has no durable store to operate on"
+        )
+    if require_exists and not os.path.exists(location):
+        raise LCLError(f"cache file {location!r} does not exist")
+    return ClassificationCache(
+        path=args.cache, max_entries=args.cache_max_entries, quarantine=False
+    )
 
 
 def _run_cache_stats(args: argparse.Namespace) -> int:
     cache = _open_cache(args)
     payload = {
         "path": cache.path,
+        "backend": cache.backend_name,
         "entries": len(cache),
         "max_entries": cache.max_entries,
-        "file_bytes": os.path.getsize(args.cache),
+        "file_bytes": cache.backend.file_size(),
         "evicted_on_load": cache.stats.evictions,
     }
+    cache.close(save=False)
     if args.json:
         print(json.dumps(payload, indent=2))
         return 0
     budget = "unbounded" if cache.max_entries is None else str(cache.max_entries)
     print(f"cache:    {cache.path}")
+    print(f"backend:  {payload['backend']}")
     print(f"entries:  {payload['entries']} (budget {budget})")
     print(f"size:     {payload['file_bytes']} bytes on disk")
     if payload["evicted_on_load"]:
@@ -559,6 +583,7 @@ def _run_cache_stats(args: argparse.Namespace) -> int:
 def _run_cache_compact(args: argparse.Namespace) -> int:
     cache = _open_cache(args)
     report = cache.compact()
+    cache.close(save=False)
     if args.json:
         print(json.dumps(report, indent=2))
         return 0
@@ -567,6 +592,52 @@ def _run_cache_compact(args: argparse.Namespace) -> int:
         f"compacted {args.cache}: {report['entries']} entr(ies), "
         f"{report['bytes_before']} -> {report['bytes_after']} bytes "
         f"({reclaimed} reclaimed)"
+    )
+    return 0
+
+
+def _run_cache_export(args: argparse.Namespace) -> int:
+    """Write a cache's content as a schema-2 JSON snapshot (any backend)."""
+    cache = _open_cache(args)
+    text = cache.export_text() + "\n"
+    entries = len(cache)
+    cache.close(save=False)
+    if args.output and args.output != "-":
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            f"exported {entries} entr(ies) from {args.cache} to {args.output}",
+            file=sys.stderr,
+        )
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _run_cache_import(args: argparse.Namespace) -> int:
+    """Load a schema-1/2 JSON snapshot into a cache (any backend)."""
+    if args.snapshot == "-":
+        text = sys.stdin.read()
+        source = "<stdin>"
+    else:
+        if not os.path.exists(args.snapshot):
+            raise LCLError(f"snapshot file {args.snapshot!r} does not exist")
+        with open(args.snapshot, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        source = args.snapshot
+    pairs = parse_snapshot_text(text, source)
+    cache = _open_cache(args, require_exists=False)
+    if args.replace:
+        cache.clear()
+    for key, entry in pairs:
+        cache.store(key, entry)
+    cache.save()
+    imported = len(pairs)
+    total = len(cache)
+    cache.close(save=False)
+    print(
+        f"imported {imported} entr(ies) into {args.cache} "
+        f"({total} total after load)"
     )
     return 0
 
@@ -593,6 +664,12 @@ def _serve_settings(args: argparse.Namespace) -> argparse.Namespace:
         args.cache = config.cache_path
     if config.cache_max_entries is not None:
         args.cache_max_entries = config.cache_max_entries
+    if config.cache_ttl is not None:
+        args.cache_ttl = config.cache_ttl
+    if config.cache_flush_interval is not None:
+        args.cache_flush_interval = config.cache_flush_interval
+    if config.cache_flush_count is not None:
+        args.cache_flush_count = config.cache_flush_count
     return args
 
 
@@ -601,7 +678,11 @@ def _run_serve(args: argparse.Namespace) -> int:
     cache = None
     if args.cache or args.cache_max_entries is not None:
         cache = ClassificationCache(
-            path=args.cache, max_entries=args.cache_max_entries
+            path=args.cache,
+            max_entries=args.cache_max_entries,
+            ttl_seconds=args.cache_ttl,
+            flush_interval=args.cache_flush_interval,
+            flush_max_dirty=args.cache_flush_count,
         )
     service = ClassificationService(
         cache=cache,
@@ -886,8 +967,12 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache",
         default=None,
-        metavar="FILE",
-        help="persist classification results to a JSON cache file",
+        metavar="URL",
+        help=(
+            "persist classification results to a cache: a file path or "
+            "json:FILE (single JSON file), sqlite:FILE (WAL-mode SQLite, "
+            "safe for concurrent processes), or memory: (none)"
+        ),
     )
     parser.add_argument(
         "--cache-max-entries",
@@ -895,6 +980,30 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="N",
         help="bound the cache to N entries, evicting least recently used results",
+    )
+    parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="drop cached results older than SECONDS (expired entries miss)",
+    )
+    parser.add_argument(
+        "--cache-flush-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "write-behind: persist dirty entries in the background every "
+            "SECONDS instead of on demand"
+        ),
+    )
+    parser.add_argument(
+        "--cache-flush-count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="write-behind: persist once N dirty entries are pending",
     )
 
 
@@ -1135,17 +1244,16 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect and maintain an on-disk classification cache"
     )
     cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
-    for name, handler, help_text in (
-        ("stats", _run_cache_stats, "report entry count and file size of a cache"),
-        (
-            "compact",
-            _run_cache_compact,
-            "rewrite a cache file from its (optionally re-bounded) entries",
-        ),
-    ):
+
+    def _cache_command(name: str, handler, help_text: str):
         cache_cmd = cache_sub.add_parser(name, help=help_text)
         cache_cmd.add_argument(
-            "--cache", required=True, metavar="FILE", help="cache file to operate on"
+            "--cache",
+            required=True,
+            metavar="URL",
+            help=(
+                "cache to operate on: a file path, json:FILE, or sqlite:FILE"
+            ),
         )
         cache_cmd.add_argument(
             "--cache-max-entries",
@@ -1154,8 +1262,47 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="apply an LRU budget of N entries while loading",
         )
-        cache_cmd.add_argument("--json", action="store_true")
         cache_cmd.set_defaults(handler=handler)
+        return cache_cmd
+
+    for name, handler, help_text in (
+        ("stats", _run_cache_stats, "report entry count and file size of a cache"),
+        (
+            "compact",
+            _run_cache_compact,
+            "rewrite a cache file from its (optionally re-bounded) entries",
+        ),
+    ):
+        cache_cmd = _cache_command(name, handler, help_text)
+        cache_cmd.add_argument("--json", action="store_true")
+
+    cache_export = _cache_command(
+        "export",
+        _run_cache_export,
+        "write a cache's content as a schema-2 JSON snapshot (any backend)",
+    )
+    cache_export.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        metavar="FILE",
+        help="write the snapshot to FILE instead of stdout ('-' for stdout)",
+    )
+
+    cache_import = _cache_command(
+        "import",
+        _run_cache_import,
+        "load a schema-1/2 JSON snapshot into a cache (any backend) for warm-starts",
+    )
+    cache_import.add_argument(
+        "snapshot",
+        help="snapshot file from 'cache export' (or a cache file), '-' for stdin",
+    )
+    cache_import.add_argument(
+        "--replace",
+        action="store_true",
+        help="drop existing entries first instead of merging over them",
+    )
 
     serve_parser = subparsers.add_parser(
         "serve",
@@ -1168,7 +1315,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "service endpoint: tcp://HOST:PORT or stdio: "
             "(overrides --host/--port/--stdio; query parameters may set "
-            "cache=FILE and cache_max_entries=N)"
+            "cache=URL (json:/sqlite:/memory:), cache_max_entries=N, "
+            "cache_ttl, cache_flush_interval, and cache_flush_count)"
         ),
     )
     serve_parser.add_argument(

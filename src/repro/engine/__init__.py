@@ -6,9 +6,11 @@ fleets of problems:
 * :mod:`repro.engine.canonical` — canonical relabeling of an
   :class:`~repro.core.problem.LCLProblem`, invariant under label renaming,
   with a stable cache key,
-* :mod:`repro.engine.cache` — in-memory + optional on-disk (JSON) result
-  cache keyed by canonical form, with hit/miss/eviction statistics and an
-  optional LRU ``max_entries`` budget enforced in memory and on disk,
+* :mod:`repro.engine.cache` — in-memory result cache keyed by canonical
+  form over a pluggable durable tier (:mod:`repro.engine.backends`: json
+  file, sqlite-WAL, or memory-only), with hit/miss/eviction/flush
+  statistics, optional TTL, write-behind persistence, and an optional LRU
+  ``max_entries`` budget enforced in memory and on disk,
 * :mod:`repro.engine.batch` — :class:`BatchClassifier`, which deduplicates a
   stream of problems by canonical key, routes unique representatives through
   the single-flight scheduler of :mod:`repro.workers` (inline, thread-pool,
@@ -19,6 +21,15 @@ fleets of problems:
   on-disk cache.
 """
 
+from .backends import (
+    CacheBackend,
+    CacheCorruptionError,
+    JsonFileBackend,
+    MemoryBackend,
+    SqliteWalBackend,
+    create_backend,
+    parse_cache_url,
+)
 from .batch import BatchClassifier, BatchItem, BatchStats
 from .cache import CacheStats, ClassificationCache
 from .canonical import CanonicalForm, canonical_form, canonical_key
@@ -36,13 +47,20 @@ __all__ = [
     "BatchClassifier",
     "BatchItem",
     "BatchStats",
+    "CacheBackend",
+    "CacheCorruptionError",
     "CacheStats",
     "CanonicalForm",
     "ClassificationCache",
+    "JsonFileBackend",
+    "MemoryBackend",
+    "SqliteWalBackend",
     "artifacts_from_dict",
     "artifacts_to_dict",
     "canonical_form",
     "canonical_key",
+    "create_backend",
+    "parse_cache_url",
     "problem_from_dict",
     "problem_to_dict",
     "relabel_result",

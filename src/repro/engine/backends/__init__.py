@@ -1,0 +1,43 @@
+"""Pluggable durable-storage backends for the classification cache.
+
+See :mod:`repro.engine.backends.base` for the protocol and the cache-URL
+syntax (``memory:``, ``json:path``, ``sqlite:path``, bare path -> json).
+"""
+
+from .base import (
+    BACKEND_ENV_VAR,
+    CACHE_SCHEMES,
+    CacheBackend,
+    CacheCorruptionError,
+    CacheRow,
+    create_backend,
+    parse_cache_url,
+)
+from .json_file import (
+    CACHE_SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    JsonFileBackend,
+    dump_snapshot_text,
+    parse_snapshot_payload,
+    parse_snapshot_text,
+)
+from .memory import MemoryBackend
+from .sqlite_wal import SqliteWalBackend
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "CACHE_SCHEMES",
+    "CACHE_SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
+    "CacheBackend",
+    "CacheCorruptionError",
+    "CacheRow",
+    "JsonFileBackend",
+    "MemoryBackend",
+    "SqliteWalBackend",
+    "create_backend",
+    "dump_snapshot_text",
+    "parse_cache_url",
+    "parse_snapshot_payload",
+    "parse_snapshot_text",
+]

@@ -1,0 +1,148 @@
+"""Single-file JSON cache backend (schema 2) — today's on-disk format.
+
+Selected by bare cache paths and ``json:`` URLs.  The file layout is exactly
+the PR-1/PR-4 format, so existing cache files keep working unchanged::
+
+    {"schema": 2, "entries": [[key, result_dict], ...]}   # LRU order
+    {"schema": 1, "entries": {key: result_dict}}          # legacy, load-only
+
+This module also owns the schema-2 *interchange* helpers used by
+``repro cache export`` / ``import``: every snapshot — whether written by this
+backend or exported from sqlite — goes through :func:`dump_snapshot_text`, so
+exports are byte-identical across backends (stable key order, no indent).
+
+Durability note (the PR-9 bugfix): snapshot writes land in a **unique**
+temp file from ``tempfile.mkstemp`` in the target directory and are moved
+into place with ``os.replace``.  The previous fixed ``{path}.tmp`` name meant
+two *processes* sharing one cache path (a CLI ``warm`` racing ``repro
+serve``) interleaved writes into one temp file and corrupted the store; a
+per-writer temp name makes the last atomic rename win instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from .base import CacheBackend, CacheCorruptionError, CacheRow
+
+CACHE_SCHEMA_VERSION = 2
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+
+
+def parse_snapshot_payload(
+    payload: Any, source: str
+) -> List[Tuple[str, Dict[str, Any]]]:
+    """Validate a decoded schema-1/2 document into ``(key, entry)`` pairs.
+
+    Pairs come back least recently used first (schema-1 object order stands
+    in for recency).  Unknown schema versions and malformed entries raise
+    :class:`ValueError` — these are *structural* errors, never quarantined.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"malformed cache document in {source}")
+    schema = payload.get("schema")
+    if schema not in SUPPORTED_SCHEMA_VERSIONS:
+        raise ValueError(
+            f"unsupported cache schema {schema!r} in {source}"
+            f" (expected one of {SUPPORTED_SCHEMA_VERSIONS})"
+        )
+    raw_entries = payload.get("entries", {} if schema == 1 else [])
+    if schema == 1:
+        if not isinstance(raw_entries, dict):
+            raise ValueError(f"malformed schema-1 entries in {source}")
+        pairs = list(raw_entries.items())
+    else:
+        if not isinstance(raw_entries, list):
+            raise ValueError(f"malformed schema-2 entries in {source}")
+        pairs = []
+        for pair in raw_entries:
+            if not (isinstance(pair, list) and len(pair) == 2):
+                raise ValueError(f"malformed schema-2 entry pair in {source}")
+            pairs.append((pair[0], pair[1]))
+    for key, entry in pairs:
+        if not isinstance(entry, dict) or "complexity" not in entry:
+            raise ValueError(f"malformed cache entry {key!r} in {source}")
+    return pairs
+
+
+def parse_snapshot_text(text: str, source: str) -> List[Tuple[str, Dict[str, Any]]]:
+    """Decode + validate snapshot ``text``; truncation raises corruption."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise CacheCorruptionError(
+            f"corrupt cache file {source}: {error}"
+        ) from error
+    return parse_snapshot_payload(payload, source)
+
+
+def dump_snapshot_text(pairs: Sequence[Tuple[str, Dict[str, Any]]]) -> str:
+    """Render ``(key, entry)`` pairs as the canonical schema-2 document.
+
+    The byte format (compact separators via ``indent=None``, sorted keys) is
+    shared by the json backend and ``repro cache export`` so that snapshots
+    of equal content are equal bytes regardless of originating backend.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "entries": [[key, entry] for key, entry in pairs],
+    }
+    return json.dumps(payload, indent=None, sort_keys=True)
+
+
+class JsonFileBackend(CacheBackend):
+    """Atomic whole-file JSON persistence (the compatible default)."""
+
+    name = "json"
+    persistent = True
+    partial_flush = False
+
+    def __init__(self, location: str) -> None:
+        super().__init__(location=location)
+
+    def load(self) -> List[CacheRow]:
+        try:
+            with open(self.location, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except UnicodeDecodeError as error:
+            raise CacheCorruptionError(
+                f"corrupt cache file {self.location}: {error}"
+            ) from error
+        pairs = parse_snapshot_text(text, self.location)
+        return [(key, entry, None) for key, entry in pairs]
+
+    def write_snapshot(
+        self, rows: Sequence[CacheRow], deletes: Sequence[str] = ()
+    ) -> int:
+        directory = os.path.dirname(os.path.abspath(self.location))
+        os.makedirs(directory, exist_ok=True)
+        text = dump_snapshot_text([(key, entry) for key, entry, _ in rows])
+        # Unique per-writer temp name: concurrent savers from *different
+        # processes* must not share a temp path (see module docstring).
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=f".{os.path.basename(self.location)}.", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_path, self.location)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return len(rows)
+
+    def flush(
+        self,
+        upserts: Sequence[CacheRow],
+        deletes: Sequence[str],
+        snapshot: Callable[[], Sequence[CacheRow]],
+    ) -> int:
+        # A single JSON document cannot be updated in place: every flush is
+        # a full snapshot rewrite (the cost the sqlite backend avoids).
+        return self.write_snapshot(snapshot())

@@ -20,8 +20,13 @@ repo's histogram idiom):
 ``repro_cache_hits_total``            counter   cache lookups answered
 ``repro_cache_misses_total``          counter   cache lookups missed
 ``repro_cache_evictions_total``       counter   LRU evictions
+``repro_cache_expirations_total``     counter   entries dropped past their TTL
+``repro_cache_flushes_total``         counter   write-behind flushes/snapshots
+``repro_cache_flushed_entries_total`` counter   entries written by those flushes
 ``repro_cache_entries``               gauge     entries currently cached
 ``repro_cache_max_entries``           gauge     LRU budget (NaN when unbounded)
+``repro_cache_dirty_entries``         gauge     keys awaiting a write-behind flush
+``repro_cache_backend_info``          gauge     1, labeled by durable ``backend``
 ``repro_batch_submitted_total``       counter   problems submitted to the engine
 ``repro_batch_full_searches_total``   counter   full decision procedures run
 ``repro_scheduler_flights_total``     counter   flights by terminal ``outcome``
@@ -136,6 +141,21 @@ def build_registry(
         "Entries evicted by the cache's LRU budget.",
         lambda: cache.stats.evictions,
     )
+    registry.counter(
+        "repro_cache_expirations_total",
+        "Entries dropped because they outlived the cache TTL.",
+        lambda: cache.stats.expirations,
+    )
+    registry.counter(
+        "repro_cache_flushes_total",
+        "Write-behind flushes and full snapshots persisted to the backend.",
+        lambda: cache.stats.flushes,
+    )
+    registry.counter(
+        "repro_cache_flushed_entries_total",
+        "Entries written by write-behind flushes and full snapshots.",
+        lambda: cache.stats.flushed_entries,
+    )
     registry.gauge(
         "repro_cache_entries",
         "Entries currently held by the classification cache.",
@@ -145,6 +165,17 @@ def build_registry(
         "repro_cache_max_entries",
         "The cache's LRU budget (NaN when unbounded).",
         lambda: cache.max_entries,
+    )
+    registry.gauge(
+        "repro_cache_dirty_entries",
+        "Keys (upserts + deletions) awaiting a write-behind flush.",
+        lambda: cache.pending_dirty,
+    )
+    registry.register(
+        "repro_cache_backend_info",
+        GAUGE,
+        "The cache's durable backend, as a constant info gauge.",
+        lambda: [{"labels": {"backend": cache.backend_name}, "value": 1}],
     )
     registry.counter(
         "repro_batch_submitted_total",

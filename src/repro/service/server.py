@@ -31,10 +31,15 @@ items instead of stalling the request), and the ``cancel`` operation detaches
 an in-flight request's searches when addressed — from a second connection —
 by its request id.  Interrupted searches release their workers and are never
 written to the cache.
-When the cache has a backing path it is persisted after every request that
-classified something new (the LRU budget keeps the file small; pure cache-hit
-requests skip the rewrite) and again on shutdown, so a killed service loses
-at most the request in flight.
+When the cache has a durable backend (a bare/``json:`` path or a
+``sqlite:`` database — see :mod:`repro.engine.backends`) persistence is
+**write-behind**: stores mark keys dirty and a background flusher persists
+them once an interval elapses or enough keys are pending
+(``DEFAULT_CACHE_FLUSH_INTERVAL`` / ``DEFAULT_CACHE_FLUSH_MAX_DIRTY``,
+overridable via ``cache_flush_interval``/``cache_flush_count`` endpoint
+parameters).  Mutating requests therefore no longer rewrite the whole file;
+shutdown still persists a final full snapshot, so a killed service loses at
+most the not-yet-flushed increment.
 
 :class:`ThreadedService` runs the TCP variant on a background thread of the
 current process — the embedding used by ``tests/test_service.py`` and the
@@ -78,6 +83,12 @@ from .protocol import (
 
 MAX_LINE_BYTES = 16 * 1024 * 1024
 """Per-line read limit: batch requests serialize many problems on one line."""
+
+DEFAULT_CACHE_FLUSH_INTERVAL = 1.0
+"""Seconds between write-behind flushes of a persistent service cache."""
+
+DEFAULT_CACHE_FLUSH_MAX_DIRTY = 64
+"""Pending dirty keys that trigger an immediate write-behind flush."""
 
 _SendFrame = Callable[[Dict[str, Any]], Awaitable[None]]
 
@@ -140,8 +151,10 @@ class ClassificationService:
     ----------
     cache:
         The shared :class:`ClassificationCache`.  A fresh unbounded in-memory
-        cache is created when omitted.  Give it a ``path`` for persistence
-        and ``max_entries`` for an LRU budget.
+        cache is created when omitted.  Give it a ``path`` (a cache URL —
+        bare/``json:`` file or ``sqlite:`` database) for persistence and
+        ``max_entries`` for an LRU budget; persistent caches flush dirty
+        keys in the background (write-behind, see the module docstring).
     backend:
         Worker backend name executing the certificate searches (``inline``,
         ``threads``, ``processes``).  Defaults to ``threads``: in-process
@@ -160,6 +173,16 @@ class ClassificationService:
         workers: Optional[int] = None,
     ) -> None:
         self.cache = cache if cache is not None else ClassificationCache()
+        # Persistent caches get write-behind persistence out of the box:
+        # stores mark keys dirty and a background flusher persists them by
+        # interval/count threshold, instead of the pre-PR-9 full-file
+        # rewrite after every mutating request.  Explicit cache_flush_*
+        # settings on the cache win over these defaults.
+        if self.cache.persistent and not self.cache.autosave:
+            self.cache.enable_write_behind(
+                flush_interval=DEFAULT_CACHE_FLUSH_INTERVAL,
+                flush_max_dirty=DEFAULT_CACHE_FLUSH_MAX_DIRTY,
+            )
         if workers is None:
             workers = max(DEFAULT_WORKERS, 4)
         self.classifier = BatchClassifier(
@@ -190,7 +213,6 @@ class ClassificationService:
         self._shutdown_event: Optional[asyncio.Event] = None
         self._writers: List[asyncio.StreamWriter] = []
         self._connection_tasks: "set" = set()
-        self._background_tasks: "set" = set()
         self.tcp_address: Optional[Tuple[str, int]] = None
 
     # ------------------------------------------------------------------
@@ -318,8 +340,9 @@ class ClassificationService:
             raise
         if trace is not None:
             trace.finish(item.outcome)
-        if item.ok and not item.from_cache:  # a hit/timeout adds nothing to save
-            self._save_cache()
+        # Persistence is write-behind: the store marked the key dirty and
+        # the cache's background flusher persists it (interval/count
+        # thresholds), so mutating requests no longer rewrite the file.
 
     async def _stream_items(
         self,
@@ -453,8 +476,6 @@ class ClassificationService:
             )
         summary["stats"] = self.classifier.stats_report()
         await send(done_frame(request.id, summary))
-        if summary["cache_misses"]:
-            self._save_cache()
 
     @staticmethod
     def _census_problems(
@@ -511,8 +532,6 @@ class ClassificationService:
         summary["params"] = echo_params
         summary["stats"] = self.classifier.stats_report()
         await send(done_frame(request.id, summary))
-        if summary["cache_misses"]:
-            self._save_cache()
 
     async def _handle_warm(self, request: Request, send: _SendFrame) -> None:
         """Pre-populate the cache with a future batch/census's canonical keys.
@@ -573,26 +592,10 @@ class ClassificationService:
             ),
         )
         summary["count"] = len(problems)
-        # Like the other handlers, skip the file rewrite when nothing new was
-        # classified (an already-hot warm must stay cheap).
-        if summary["scheduled"]:
-            if summary["waited"]:
-                self._save_cache()
-            else:
-                self._spawn_background(self._save_cache_when_idle())
+        # Warmed results persist via the same write-behind flusher as every
+        # other store — no special-cased idle save; shutdown still flushes
+        # whatever a background warm landed after the last interval.
         await send(result_frame(request.id, summary))
-
-    def _spawn_background(self, coroutine: Awaitable[Any]) -> None:
-        """Run a fire-and-forget coroutine, keeping a strong reference."""
-        task = asyncio.ensure_future(coroutine)
-        self._background_tasks.add(task)
-        task.add_done_callback(self._background_tasks.discard)
-
-    async def _save_cache_when_idle(self) -> None:
-        """Persist the cache once background warming has drained."""
-        loop = asyncio.get_running_loop()
-        await loop.run_in_executor(None, self.scheduler.wait_idle, 600)
-        self._save_cache()
 
     async def _handle_cancel(self, request: Request, send: _SendFrame) -> None:
         """Cancel an in-flight request by its id (from another connection).
@@ -673,12 +676,9 @@ class ClassificationService:
                 "requests_served": self.requests_served,
                 "uptime_seconds": time.monotonic() - self.started_at,
             },
-            "cache": {
-                "entries": len(self.cache),
-                "max_entries": self.cache.max_entries,
-                "path": self.cache.path,
-                **self.cache.stats.as_dict(),
-            },
+            # cache.info() is the one source of the cache-section shape, so
+            # local and remote stats expose identical fields by construction.
+            "cache": self.cache.info(),
             "batch": self.classifier.stats.as_dict(),
             "workers": self.scheduler.stats_payload(),
             "trace": self.tracer.as_dict(),
@@ -787,9 +787,10 @@ class ClassificationService:
         finally:
             self._save_cache()
             # close() drains in-flight background warms into the in-memory
-            # cache; save again so they reach the file too.
+            # cache; cache.close() then persists a final full snapshot (and
+            # stops the write-behind flusher), so shutdown loses nothing.
             self.classifier.close()
-            self._save_cache()
+            self.cache.close()
             self.tracer.close()
 
     async def serve_tcp(
@@ -830,9 +831,10 @@ class ClassificationService:
             # Only now tear the worker pool down: no handler can submit work.
             # close() waits for in-flight searches (e.g. a background warm),
             # whose results land in the in-memory cache after the save above —
-            # save again so shutdown loses nothing.
+            # cache.close() persists a final full snapshot (and stops the
+            # write-behind flusher) so shutdown loses nothing.
             self.classifier.close()
-            self._save_cache()
+            self.cache.close()
             self.tracer.close()
 
     async def _handle_tcp_connection(

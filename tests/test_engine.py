@@ -154,7 +154,7 @@ class TestClassificationCache:
         path = tmp_path / "cache.json"
         path.write_text(json.dumps({"schema": 999, "entries": {}}))
         with pytest.raises(ValueError):
-            ClassificationCache(path=str(path))
+            ClassificationCache(path="json:" + str(path))
 
     def test_save_without_path_fails(self):
         with pytest.raises(ValueError):
@@ -210,7 +210,7 @@ class TestCacheEviction:
 
     def test_max_entries_holds_on_disk_too(self, tmp_path):
         path = tmp_path / "cache.json"
-        cache = ClassificationCache(path=str(path), max_entries=3)
+        cache = ClassificationCache(path="json:" + str(path), max_entries=3)
         for index in range(10):
             cache.store(f"k{index}", self._entry(index))
         cache.save()
@@ -238,10 +238,10 @@ class TestCacheEviction:
                 {"schema": 1, "entries": {f"k{i}": self._entry(i) for i in range(5)}}
             )
         )
-        unbounded = ClassificationCache(path=str(path))
+        unbounded = ClassificationCache(path="json:" + str(path))
         assert len(unbounded) == 5
 
-        bounded = ClassificationCache(path=str(path), max_entries=2)
+        bounded = ClassificationCache(path="json:" + str(path), max_entries=2)
         assert len(bounded) == 2
         assert bounded.stats.evictions == 3
 
@@ -254,13 +254,13 @@ class TestCacheEviction:
         )
         bytes_before = path.stat().st_size
 
-        cache = ClassificationCache(path=str(path), max_entries=5)
+        cache = ClassificationCache(path="json:" + str(path), max_entries=5)
         report = cache.compact()
         assert report["entries"] == 5
         assert report["bytes_before"] == bytes_before
         assert report["bytes_after"] < bytes_before
 
-        reloaded = ClassificationCache(path=str(path))
+        reloaded = ClassificationCache(path="json:" + str(path))
         assert len(reloaded) == 5
         assert json.loads(path.read_text())["schema"] == 2
 
@@ -268,7 +268,7 @@ class TestCacheEviction:
         path = tmp_path / "cache.json"
         path.write_text(json.dumps({"schema": 2, "entries": [["k", {}, "extra"]]}))
         with pytest.raises(ValueError):
-            ClassificationCache(path=str(path))
+            ClassificationCache(path="json:" + str(path))
 
     def test_stats_report_includes_evictions(self):
         cache = ClassificationCache(max_entries=1)

@@ -126,7 +126,8 @@ class TestServiceOverTcp:
         """Acceptance: the second client's batch reports a hit rate > 0.9."""
         path = tmp_path / "service-cache.json"
         _problems, specs = _batch_specs(count=24)
-        with ThreadedService(cache=ClassificationCache(path=str(path))) as address:
+        cache = ClassificationCache(path="json:" + str(path))
+        with ThreadedService(cache=cache) as address:
             with ServiceClient.connect_tcp(*address) as first:
                 cold = first.classify_batch(specs)
             with ServiceClient.connect_tcp(*address) as second:
@@ -145,7 +146,7 @@ class TestServiceOverTcp:
         budget = 4
         path = tmp_path / "bounded.json"
         _problems, specs = _batch_specs(count=30, labels=3, density=0.25)
-        cache = ClassificationCache(path=str(path), max_entries=budget)
+        cache = ClassificationCache(path="json:" + str(path), max_entries=budget)
         service = ThreadedService(cache=cache)
         with service as address:
             with ServiceClient.connect_tcp(*address) as client:
@@ -380,7 +381,7 @@ class TestWarm:
     def test_background_warm_survives_immediate_shutdown(self, tmp_path):
         """Warmed results reach the cache file even when shutdown races them."""
         path = tmp_path / "race-cache.json"
-        service = ThreadedService(cache=ClassificationCache(path=str(path)))
+        service = ThreadedService(cache=ClassificationCache(path="json:" + str(path)))
         address = service.start()
         with ServiceClient.connect_tcp(*address) as client:
             warm = client.warm(census=self.CENSUS, wait=False)
